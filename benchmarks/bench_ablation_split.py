@@ -1,0 +1,66 @@
+"""Extension — §4.4 split allocation on the LU no-fit case.
+
+Figure 6.2's discussion: the LU matrix does not fit the MPB, but "for
+a very slight performance improvement a small portion of the matrix,
+for example a few rows, may be allocated separately on the MPB".  With
+``allow_split`` Stage 4 does exactly that: the head of the batch goes
+to SRAM, the tail to DRAM.  The expected result is a small-but-real
+gain — bigger than the no-split on-chip configuration (which spills
+the whole batch), far smaller than a workload that fits.
+"""
+
+from conftest import write_result
+
+from repro.bench.workloads import SCALED_ON_CHIP_CAPACITY, scaled_config
+from repro.bench.programs import benchmark_source
+from repro.core.framework import TranslationFramework
+from repro.scc.chip import SCCChip
+from repro.sim.runner import run_rcce
+
+NUM_UES = 16
+SIZES = {"batch": 16, "dim": 16}  # 32 KB of matrices > 24 KB capacity
+CAPACITY = 24 * 1024
+
+
+def run_variant(source, **framework_kwargs):
+    translated = TranslationFramework(**framework_kwargs).translate(
+        source)
+    chip = SCCChip(scaled_config())
+    return run_rcce(translated.unit, NUM_UES, chip.config, chip), \
+        translated
+
+
+def test_split_allocation_on_lu(benchmark, results_dir):
+    source = benchmark_source("lu", nthreads=NUM_UES, **SIZES)
+
+    no_split, no_split_tr = run_variant(
+        source, on_chip_capacity=CAPACITY)
+
+    def with_split():
+        return run_variant(source, on_chip_capacity=CAPACITY,
+                           allow_split=True)
+
+    split, split_tr = benchmark.pedantic(with_split, rounds=1,
+                                         iterations=1)
+
+    # identical numerics
+    assert split.stdout() == no_split.stdout()
+
+    # without split the matrices spilled entirely; with split their
+    # head rows live on-chip
+    assert no_split_tr.plan.bank_of("mats").value == "off-chip"
+    assert split_tr.plan.bank_of("mats").value == "split"
+
+    improvement = no_split.cycles / split.cycles
+    write_result(results_dir, "ablation_split.txt",
+                 "LU without split: %8d cycles\n"
+                 "LU with split:    %8d cycles\n"
+                 "improvement:      %.3fx  (paper: 'very slight')\n"
+                 "why so slight: cores whose matrices landed in the\n"
+                 "SRAM head finish early, but wall time is the max\n"
+                 "over cores and the slowest core's matrix still\n"
+                 "lives in the DRAM tail"
+                 % (no_split.cycles, split.cycles, improvement))
+
+    # the paper's 'very slight performance improvement': real but small
+    assert 1.0 < improvement < 2.0

@@ -1,0 +1,63 @@
+"""Ablation — what non-coherent uncacheability actually costs.
+
+The whole premise of the paper's Stage 4 is that shared pages on an
+HSM machine are uncacheable.  This bench quantifies that premise with
+the LUT page-table knob: run the same single-core kernel twice, once
+with its data in a private *cacheable* window and once with the very
+same window remapped shared-uncacheable (``SCCChip.configure_window``),
+and measure the gap the MPB exists to close.
+"""
+
+from conftest import write_result
+
+from repro.scc.chip import SCCChip
+from repro.sim.runner import run_pthread_single_core
+from repro.bench.workloads import scaled_config
+
+KERNEL = """
+#include <stdio.h>
+
+int data[512];
+
+int main(void) {
+    int sum = 0;
+    for (int r = 0; r < 8; r++) {
+        for (int i = 0; i < 512; i++) {
+            data[i] = i;
+        }
+        for (int i = 0; i < 512; i++) {
+            sum += data[i];
+        }
+    }
+    printf("%d\\n", sum);
+    return 0;
+}
+"""
+
+
+def run_kernel(make_uncached):
+    chip = SCCChip(scaled_config())
+    if make_uncached:
+        # remap core 0's whole private window to shared-uncacheable
+        from repro.scc.memmap import PRIVATE_BASE
+        chip.configure_window(0, PRIVATE_BASE, shared=True)
+    return run_pthread_single_core(KERNEL, chip.config, chip)
+
+
+def test_uncacheability_cost(benchmark, results_dir):
+    cached = run_kernel(make_uncached=False)
+    uncached = benchmark.pedantic(
+        lambda: run_kernel(make_uncached=True), rounds=1, iterations=1)
+
+    # identical program results either way
+    assert cached.stdout() == uncached.stdout()
+
+    slowdown = uncached.cycles / cached.cycles
+    write_result(results_dir, "ablation_uncached.txt",
+                 "cacheable private window:   %8d cycles\n"
+                 "uncacheable shared window:  %8d cycles\n"
+                 "uncacheability cost:        %.2fx"
+                 % (cached.cycles, uncached.cycles, slowdown))
+
+    # the gap the paper's on-chip mapping fights: several-fold
+    assert slowdown > 2.0

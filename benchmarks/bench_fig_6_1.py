@@ -1,0 +1,41 @@
+"""Figure 6.1 — RCCE (32 cores, off-chip shared memory) speedup over
+the 32-thread Pthreads baseline on one core.
+
+Paper: Pi 32x, 3-5-Sum 29x, Count Primes 16x, Stream 17x; Dot Product
+and LU Decomposition trail because of memory-controller contention.
+Shape assertions check the ordering and rough magnitudes, not the
+absolute silicon numbers (we run a latency model, not the SCC).
+"""
+
+from conftest import write_result
+
+from repro.bench.figures import render_bars
+
+
+def test_figure_6_1(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(
+        lambda: harness.figure_6_1(), rounds=1, iterations=1)
+    chart = render_bars(rows, "benchmark", "speedup",
+                        title="Figure 6.1: speedup over 1-core "
+                        "Pthreads (32 UEs, off-chip shared memory)")
+    write_result(results_dir, "figure_6_1.txt", chart)
+
+    speedup = {row["benchmark"]: row["speedup"] for row in rows}
+
+    # every benchmark gains substantially from 32 cores
+    assert all(value > 3.0 for value in speedup.values())
+
+    # compute-bound, balanced benchmarks reach ~32x
+    assert speedup["pi"] > 25.0
+    assert speedup["sum35"] > 25.0
+
+    # block-distributed Count Primes is imbalance-limited (~half ideal)
+    assert 10.0 < speedup["primes"] < 22.0
+    assert speedup["primes"] < speedup["pi"]
+
+    # memory-bound benchmarks trail the compute-bound ones
+    assert speedup["stream"] < speedup["sum35"]
+    assert speedup["dot"] < speedup["sum35"]
+
+    # LU (large arrays + cache-friendly baseline) is the worst case
+    assert speedup["lu"] == min(speedup.values())

@@ -1,0 +1,37 @@
+"""Figure 6.2 — RCCE off-chip shared memory vs the on-chip MPB.
+
+Paper: memory-heavy programs benefit most (Stream), LU's matrix does
+not fit into the on-chip shared memory so it gains almost nothing.
+"""
+
+from conftest import write_result
+
+from repro.bench.figures import render_bars
+
+
+def test_figure_6_2(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(
+        lambda: harness.figure_6_2(), rounds=1, iterations=1)
+    chart = render_bars(rows, "benchmark", "improvement",
+                        title="Figure 6.2: on-chip (MPB) improvement "
+                        "over off-chip shared memory")
+    average = harness.average_onchip_improvement()
+    chart += "\n\ngeometric-mean improvement: %.2fx" % average
+    write_result(results_dir, "figure_6_2.txt", chart)
+
+    improvement = {row["benchmark"]: row["improvement"] for row in rows}
+
+    # on-chip never loses
+    assert all(value >= 0.95 for value in improvement.values())
+
+    # memory-operations benchmarks benefit the most
+    top_two = sorted(improvement, key=improvement.get)[-2:]
+    assert set(top_two) <= {"stream", "dot"}
+    assert improvement["stream"] > 2.0
+
+    # LU does not fit in the MPB: marginal gain (paper: "very slight")
+    assert improvement["lu"] < 1.15
+    assert improvement["lu"] == min(improvement.values())
+
+    # compute-bound benchmarks barely move
+    assert improvement["pi"] < 1.5

@@ -1,0 +1,33 @@
+"""Figure 6.3 — Pi Approximation speedup with varying core count.
+
+Paper: programs with sufficient computation scale with the number of
+cores; the series must be monotonically increasing and near-linear.
+"""
+
+from conftest import write_result
+
+from repro.bench.figures import render_bars
+
+CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def test_figure_6_3(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(
+        lambda: harness.figure_6_3("pi", CORE_COUNTS),
+        rounds=1, iterations=1)
+    chart = render_bars(rows, "cores", "speedup",
+                        title="Figure 6.3: Pi Approximation speedup "
+                        "vs core count")
+    write_result(results_dir, "figure_6_3.txt", chart)
+
+    speedups = [row["speedup"] for row in rows]
+
+    # strictly increasing with core count
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    # near-linear scaling: doubling cores buys >= 1.6x each step
+    ratios = [b / a for a, b in zip(speedups, speedups[1:])]
+    assert all(ratio > 1.6 for ratio in ratios)
+
+    # 32 cores land in the paper's ballpark
+    assert speedups[-1] > 25.0

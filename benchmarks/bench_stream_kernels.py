@@ -1,0 +1,72 @@
+"""Per-kernel STREAM breakdown (Appendix C, Algorithms 13-16).
+
+The paper's Figure 6.1/6.2 shows one "Stream" bar; its Appendix C
+defines the four kernels separately.  This bench times Copy / Scale /
+Add / Triad individually across the three configurations, so the
+memory-operation mix (1 read + 1 write up to 2 reads + 1 write + FLOPs)
+is visible in the speedups.
+"""
+
+from conftest import write_result
+
+from repro.bench.programs import STREAM_KERNELS, stream_kernel
+from repro.bench.workloads import scaled_config
+from repro.core.framework import TranslationFramework
+from repro.scc.chip import SCCChip
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+NUM_UES = 16
+N = 512
+
+
+def run_kernel_matrix():
+    rows = []
+    for kernel in STREAM_KERNELS:
+        source = stream_kernel(kernel, nthreads=NUM_UES, n=N)
+        chip = SCCChip(scaled_config())
+        baseline = run_pthread_single_core(source, chip.config, chip)
+
+        off_tr = TranslationFramework(
+            partition_policy="off-chip-only").translate(source)
+        chip = SCCChip(scaled_config())
+        off = run_rcce(off_tr.unit, NUM_UES, chip.config, chip)
+
+        on_tr = TranslationFramework(
+            on_chip_capacity=48 * 1024).translate(source)
+        chip = SCCChip(scaled_config())
+        on = run_rcce(on_tr.unit, NUM_UES, chip.config, chip)
+
+        expected = baseline.stdout()
+        for line in off.stdout().strip().splitlines():
+            assert line + "\n" == expected, kernel
+        for line in on.stdout().strip().splitlines():
+            assert line + "\n" == expected, kernel
+
+        rows.append({
+            "kernel": kernel,
+            "pthread": baseline.cycles,
+            "rcce_off": off.cycles,
+            "rcce_on": on.cycles,
+            "fig61": baseline.cycles / off.cycles,
+            "fig62": off.cycles / on.cycles,
+        })
+    return rows
+
+
+def test_stream_kernel_breakdown(benchmark, results_dir):
+    rows = benchmark.pedantic(run_kernel_matrix, rounds=1, iterations=1)
+
+    lines = ["%-6s pthread=%8d off=%8d on=%8d  fig6.1=%5.2fx "
+             "fig6.2=%5.2fx" % (row["kernel"], row["pthread"],
+                                row["rcce_off"], row["rcce_on"],
+                                row["fig61"], row["fig62"])
+             for row in rows]
+    write_result(results_dir, "stream_kernels.txt", "\n".join(lines))
+
+    by_kernel = {row["kernel"]: row for row in rows}
+    # every kernel gains from both parallelism and the MPB
+    assert all(row["fig61"] > 1.5 for row in rows)
+    assert all(row["fig62"] > 1.2 for row in rows)
+    # triad does the most FLOPs per element: moving memory on-chip
+    # helps it no more than pure-copy (copy is the most memory-bound)
+    assert by_kernel["copy"]["fig62"] >= 0.8 * by_kernel["triad"]["fig62"]

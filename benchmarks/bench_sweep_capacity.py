@@ -1,0 +1,69 @@
+"""Sensitivity sweep — Figure 6.2's dependence on MPB capacity.
+
+Sweeps the on-chip shared capacity the Stage 4 partitioner is given
+and reruns the Stream benchmark: the on-chip improvement must be flat
+(≈1x) until the arrays fit, then jump — locating the fit/no-fit
+crossover the LU discussion in the paper hinges on.
+"""
+
+from conftest import write_result
+
+from repro.bench.workloads import scaled_config
+from repro.bench.programs import benchmark_source
+from repro.core.framework import TranslationFramework
+from repro.scc.chip import SCCChip
+from repro.sim.runner import run_rcce
+
+NUM_UES = 16
+N = 512
+# stream shared data: 3 arrays x 512 doubles = 12 KB + checksum
+CAPACITIES = (0, 2 * 1024, 8 * 1024, 16 * 1024, 64 * 1024)
+
+
+def run_at_capacity(source, capacity):
+    framework = TranslationFramework(on_chip_capacity=capacity)
+    translated = framework.translate(source)
+    chip = SCCChip(scaled_config())
+    result = run_rcce(translated.unit, NUM_UES, chip.config, chip)
+    return result.cycles, translated.plan.on_chip_bytes
+
+
+def sweep():
+    source = benchmark_source("stream", nthreads=NUM_UES, n=N)
+    baseline_cycles, _ = run_at_capacity(source, 0)
+    rows = []
+    for capacity in CAPACITIES:
+        cycles, on_chip_bytes = run_at_capacity(source, capacity)
+        rows.append({
+            "capacity": capacity,
+            "on_chip_bytes": on_chip_bytes,
+            "cycles": cycles,
+            "improvement": baseline_cycles / cycles,
+        })
+    return rows
+
+
+def test_capacity_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["capacity=%6d  on-chip=%6d B  cycles=%8d  %5.2fx"
+             % (row["capacity"], row["on_chip_bytes"], row["cycles"],
+                row["improvement"]) for row in rows]
+    write_result(results_dir, "sweep_capacity.txt", "\n".join(lines))
+
+    by_capacity = {row["capacity"]: row for row in rows}
+
+    # below the fit point, nothing meaningful lands on-chip
+    assert by_capacity[0]["improvement"] == 1.0
+    assert by_capacity[2048]["improvement"] < 1.3
+
+    # past the fit point (>= 13 KB needed) the improvement jumps
+    assert by_capacity[16 * 1024]["improvement"] > 1.5
+    # and more capacity beyond "everything fits" changes nothing
+    assert by_capacity[64 * 1024]["cycles"] == \
+        by_capacity[16 * 1024]["cycles"]
+
+    # improvement is monotone in capacity on this workload
+    improvements = [row["improvement"] for row in rows]
+    assert all(b >= a - 0.02 for a, b in zip(improvements,
+                                             improvements[1:]))

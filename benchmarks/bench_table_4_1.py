@@ -1,0 +1,39 @@
+"""Table 4.1 — per-variable information for Example Code 4.1.
+
+Regenerates the table and benchmarks the Stage 1-3 analysis pipeline
+(the paper's compile-time cost)."""
+
+from conftest import write_result
+
+from repro.bench.programs import EXAMPLE_4_1
+from repro.bench.tables import PAPER_TABLE_4_1
+from repro.core.framework import TranslationFramework
+from repro.core.reports import format_table, table_4_1
+
+
+def test_table_4_1(benchmark, results_dir):
+    framework = TranslationFramework()
+
+    def analyze():
+        return framework.analyze(EXAMPLE_4_1)
+
+    result = benchmark(analyze)
+    rows = table_4_1(result)
+
+    rendered = format_table(
+        rows, title="Table 4.1: Information extracted per variable "
+        "(post Stage 3)")
+    comparison = ["", "paper values (thesis p.19):"]
+    for name, paper in PAPER_TABLE_4_1.items():
+        comparison.append("  %-8s rd=%s wr=%s size=%s"
+                          % (name, paper["rd"], paper["wr"],
+                             paper["size"]))
+    write_result(results_dir, "table_4_1.txt",
+                 rendered + "\n" + "\n".join(comparison))
+
+    by_name = {row["name"]: row for row in rows}
+    # the consistent cells must match the paper exactly
+    assert by_name["ptr"]["rd"] == PAPER_TABLE_4_1["ptr"]["rd"]
+    assert by_name["tmp"]["wr"] == PAPER_TABLE_4_1["tmp"]["wr"]
+    assert by_name["threads"]["rd"] == PAPER_TABLE_4_1["threads"]["rd"]
+    assert by_name["tLocal"]["rd"] == PAPER_TABLE_4_1["tLocal"]["rd"]

@@ -1,0 +1,28 @@
+"""Table 4.2 — sharing status after each analysis stage.
+
+Must match the thesis table exactly, row for row."""
+
+from conftest import write_result
+
+from repro.bench.programs import EXAMPLE_4_1
+from repro.bench.tables import PAPER_TABLE_4_2
+from repro.core.framework import TranslationFramework
+from repro.core.reports import format_table, table_4_2
+
+
+def test_table_4_2(benchmark, results_dir):
+    framework = TranslationFramework()
+
+    def analyze():
+        return framework.analyze(EXAMPLE_4_1)
+
+    result = benchmark(analyze)
+    rows = table_4_2(result)
+    write_result(results_dir, "table_4_2.txt", format_table(
+        rows, title="Table 4.2: Variables sharing status"))
+
+    by_name = {row["variable"]: row for row in rows}
+    for name, (stage1, stage2, stage3) in PAPER_TABLE_4_2.items():
+        assert by_name[name]["stage1"] == stage1, name
+        assert by_name[name]["stage2"] == stage2, name
+        assert by_name[name]["stage3"] == stage3, name

@@ -1,0 +1,37 @@
+"""Toolchain throughput: translator compile-time and simulator speed."""
+
+from conftest import write_result
+
+from repro.bench.programs import BENCHMARKS
+from repro.core.framework import TranslationFramework
+from repro.sim.runner import run_pthread_single_core
+
+
+def test_translate_all_benchmarks(benchmark, results_dir):
+    """Full five-stage translation of the whole corpus."""
+    framework = TranslationFramework()
+    sources = [builder(nthreads=32) for builder in BENCHMARKS.values()]
+
+    def translate_all():
+        return [framework.translate(source) for source in sources]
+
+    results = benchmark(translate_all)
+    lines = sum(r.rcce_source.count("\n") for r in results)
+    write_result(results_dir, "toolchain_translate.txt",
+                 "translated %d programs, %d lines of RCCE C"
+                 % (len(results), lines))
+    assert len(results) == len(BENCHMARKS)
+
+
+def test_simulator_throughput(benchmark, results_dir):
+    """Simulated cycles per wall-clock second on the pi kernel."""
+    source = BENCHMARKS["pi"](nthreads=4, steps=2048)
+
+    def simulate():
+        return run_pthread_single_core(source)
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    write_result(results_dir, "toolchain_simulate.txt",
+                 "pi(2048 steps, 4 threads): %d simulated cycles"
+                 % result.cycles)
+    assert result.stdout().startswith("pi = 3.14")

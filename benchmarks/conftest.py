@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+The session-scoped harness caches every (benchmark, configuration) run,
+so the figure benches share simulation work instead of re-running the
+full matrix per module.  Rendered tables/series are also written to
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentHarness
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """The paper's configuration: 32 UEs, scaled workloads."""
+    return ExperimentHarness(num_ues=32)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, name, text):
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run the paper's benchmark suite end to end (reduced scale).
+
+Reproduces the structure of Figures 6.1 and 6.2 with 8 UEs and small
+workloads so it finishes in seconds.  For the full 32-UE matrix run
+``pytest benchmarks/ --benchmark-only``.
+
+Run: python examples/benchmark_suite.py
+"""
+
+from repro import ExperimentHarness
+from repro.bench.figures import render_bars
+from repro.bench.workloads import Workload
+
+
+def small_workloads():
+    return {
+        "pi": Workload("pi", {"steps": 4096}, 64),
+        "sum35": Workload("sum35", {"limit": 4096}, 64),
+        "primes": Workload("primes", {"limit": 768}, 32),
+        "stream": Workload("stream", {"n": 512}, 512 * 24),
+        "dot": Workload("dot", {"n": 512}, 512 * 16),
+        "lu": Workload("lu", {"batch": 8, "dim": 12}, 8 * 12 * 12 * 8),
+    }
+
+
+def main():
+    harness = ExperimentHarness(num_ues=8,
+                                workloads=small_workloads(),
+                                on_chip_capacity=16 * 1024)
+
+    print("Running %d benchmarks x 3 configurations "
+          "(pthread / rcce-off / rcce-on)...\n" % len(small_workloads()))
+
+    rows_61 = harness.figure_6_1()
+    print(render_bars(rows_61, "benchmark", "speedup",
+                      title="Figure 6.1 (8 UEs): RCCE off-chip speedup "
+                      "over 1-core Pthreads"))
+
+    rows_62 = harness.figure_6_2()
+    print()
+    print(render_bars(rows_62, "benchmark", "improvement",
+                      title="Figure 6.2 (8 UEs): on-chip MPB "
+                      "improvement over off-chip"))
+    print("\ngeometric-mean on-chip improvement: %.2fx"
+          % harness.average_onchip_improvement())
+
+    print("\nverification: every translated program printed the same "
+          "answer as its Pthreads original.")
+    for name in small_workloads():
+        print("  %-7s %s" % (name,
+                             harness.run(name, "pthread").result_line()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Hand-written RCCE: the substrate below the translator.
+
+The translator targets the RCCE shared-memory API, but RCCE itself is a
+message-passing library (put/get, send/recv, MPB flags, collectives —
+van der Wijngaart et al.).  This example runs a hand-written RCCE
+program that uses that layer directly: a ring token pass, a
+flag-synchronized producer/consumer, and an allreduce — demonstrating
+that the simulated runtime is the full library, not just the subset the
+translator emits.
+
+Run: python examples/message_passing.py
+"""
+
+from repro.sim import run_rcce
+
+SOURCE = r'''
+#include <stdio.h>
+#include <RCCE.h>
+
+int RCCE_APP(int argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    int me = RCCE_ue();
+    int n = RCCE_num_ues();
+
+    /* 1. ring: pass a token all the way around */
+    int token[1];
+    int incoming[1];
+    token[0] = 1000 + me;
+    if (me % 2 == 0) {
+        RCCE_send(token, sizeof(int), (me + 1) % n);
+        RCCE_recv(incoming, sizeof(int), (me + n - 1) % n);
+    } else {
+        RCCE_recv(incoming, sizeof(int), (me + n - 1) % n);
+        RCCE_send(token, sizeof(int), (me + 1) % n);
+    }
+    printf("UE %d received token %d\n", me, incoming[0]);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+
+    /* 2. producer/consumer through shared memory, gated by a flag */
+    int *mailbox = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    RCCE_FLAG ready;
+    RCCE_flag_alloc(&ready);
+    if (me == 0) {
+        mailbox[0] = 777;
+        RCCE_flag_write(&ready, RCCE_FLAG_SET, 1);
+    }
+    if (me == n - 1) {
+        RCCE_wait_until(ready, RCCE_FLAG_SET);
+        printf("UE %d read mailbox %d\n", me, mailbox[0]);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+
+    /* 3. collective: global sum of squares */
+    double mine[1];
+    double total[1];
+    mine[0] = (double)(me * me);
+    RCCE_allreduce(mine, total, 1, RCCE_DOUBLE, RCCE_SUM,
+                   RCCE_COMM_WORLD);
+    if (me == 0) {
+        printf("sum of squares over %d UEs = %.1f\n", n, total[0]);
+    }
+    RCCE_finalize();
+    return 0;
+}
+'''
+
+
+def main():
+    result = run_rcce(SOURCE, 8)
+    print(result.stdout())
+    print("slowest core: %d cycles (%.3f ms simulated)"
+          % (result.cycles, result.seconds * 1000))
+    print("messages sent: ring of %d + flag handshake" % 8)
+
+
+if __name__ == "__main__":
+    main()

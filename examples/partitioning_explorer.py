@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Explore Stage 4: how on-chip capacity and policy change the plan.
+
+Sweeps the on-chip shared-memory capacity for the Stream benchmark and
+shows which variables Algorithm 3 places on-chip at each size, for both
+the paper's ascending-size policy and the frequency-density refinement
+— then simulates the actual runtime effect of each plan.
+
+Run: python examples/partitioning_explorer.py
+"""
+
+from repro import TranslationFramework
+from repro.bench.programs import benchmark_source
+from repro.sim import run_rcce
+
+CAPACITIES = (0, 512, 4 * 1024, 16 * 1024, 64 * 1024)
+NUM_UES = 8
+
+
+def describe(plan):
+    on = ", ".join(sorted(p.info.name for p in plan.on_chip())) or "-"
+    off = ", ".join(sorted(p.info.name for p in plan.off_chip())) or "-"
+    return on, off
+
+
+def main():
+    source = benchmark_source("stream", nthreads=NUM_UES, n=512)
+
+    print("Stream benchmark shared data: a, b, c (4 KB each), "
+          "checksum (64 B)\n")
+    header = "%-9s %-8s  %-28s %-22s %s" % (
+        "capacity", "policy", "on-chip", "off-chip", "cycles")
+    print(header)
+    print("-" * len(header))
+
+    for capacity in CAPACITIES:
+        for policy in ("size", "frequency"):
+            framework = TranslationFramework(on_chip_capacity=capacity,
+                                             partition_policy=policy)
+            translated = framework.translate(source)
+            result = run_rcce(translated.unit, NUM_UES)
+            on, off = describe(translated.plan)
+            print("%-9d %-8s  %-28s %-22s %d"
+                  % (capacity, policy, on, off, result.cycles))
+
+    print("\nLarger on-chip capacity pulls the hot arrays out of the "
+          "uncached shared DRAM,\nwhich is exactly the Figure 6.2 "
+          "effect.  Stream's arrays are all equally hot,\nso both "
+          "policies agree here; benchmarks/bench_ablation_partition.py "
+          "shows a\nworkload where the frequency policy wins.")
+
+
+if __name__ == "__main__":
+    main()

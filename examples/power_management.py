@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The SCC's power-management mechanisms (paper §5.1).
+
+"The frequency of the mesh and the cores is variable and can be set in
+a variety of ways.  First, the frequency for each core can be set all
+at the same time by setting the frequency of the entire chip.  Second,
+groups of cores may have their frequency changed by changing the
+frequency of the power domain they fall under.  Third, both of these
+steps can be carried out dynamically within a program by making
+procedure calls to the power management API."
+
+This example demonstrates all three against the calibrated power model
+(0.7 V / 125 MHz / 25 W up to 1.14 V / 1 GHz / 125 W).
+
+Run: python examples/power_management.py
+"""
+
+from repro.scc.chip import SCCChip
+from repro.scc.config import Table61Config
+from repro.sim import run_rcce
+
+
+def main():
+    chip = SCCChip(Table61Config())
+    print("Calibrated envelope: %.1f W at 0.70V/125MHz, %.1f W at "
+          "1.14V/1GHz" % (chip.power.operating_point_power(0.70, 125),
+                          chip.power.operating_point_power(1.14, 1000)))
+    print("Running point (%d MHz everywhere): %.1f W\n"
+          % (chip.config.core_freq_mhz, chip.power.chip_power_watts()))
+
+    # Mechanism 1: whole chip at once
+    chip.power.set_chip_frequency(533, voltage=0.9)
+    print("mechanism 1 - chip to 533 MHz @ 0.9 V : %.1f W"
+          % chip.power.chip_power_watts())
+    chip.power.set_chip_frequency(800, voltage=1.1)
+
+    # Mechanism 2: one power domain
+    chip.power.set_domain_frequency(0, 125, voltage=0.70)
+    print("mechanism 2 - domain 0 to 125 MHz     : %.1f W"
+          % chip.power.chip_power_watts())
+    chip.power.set_domain_frequency(0, 800, voltage=1.1)
+
+    # Mechanism 3: from inside a program, via the RCCE power API
+    source = '''
+    #include <stdio.h>
+    #include <RCCE.h>
+    int RCCE_APP(int argc, char **argv) {
+        RCCE_init(&argc, &argv);
+        printf("UE %d is in power domain %d\\n",
+               RCCE_ue(), RCCE_power_domain());
+        if (RCCE_ue() == 0) {
+            RCCE_iset_power(4);   /* divide my domain's clock by 4 */
+            RCCE_wait_power();
+        }
+        RCCE_finalize();
+        return 0;
+    }
+    '''
+    before = chip.power.chip_power_watts()
+    result = run_rcce(source, 4, chip.config, chip)
+    after = chip.power.chip_power_watts()
+    print("mechanism 3 - RCCE_iset_power(4) from UE 0: "
+          "%.1f W -> %.1f W" % (before, after))
+    print()
+    print(result.stdout())
+
+
+if __name__ == "__main__":
+    main()

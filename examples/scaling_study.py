@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Figure 6.3 — core-count scaling of the Pi Approximation benchmark.
+
+Sweeps the RCCE core count and reports speedup over the single-core
+Pthreads program, plus efficiency (speedup / cores), showing where the
+near-linear scaling of compute-bound HSM programs starts to dip.
+
+Run: python examples/scaling_study.py
+"""
+
+from repro import ExperimentHarness
+from repro.bench.figures import render_bars
+from repro.bench.workloads import Workload
+
+CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def main():
+    harness = ExperimentHarness(
+        num_ues=32,
+        workloads={"pi": Workload("pi", {"steps": 8192}, 256)})
+
+    rows = harness.figure_6_3("pi", CORE_COUNTS)
+    print(render_bars(rows, "cores", "speedup",
+                      title="Figure 6.3: Pi Approximation speedup vs "
+                      "core count"))
+
+    print("\ncores  speedup  efficiency")
+    for row in rows:
+        print("%5d  %7.2f  %9.1f%%"
+              % (row["cores"], row["speedup"],
+                 100.0 * row["speedup"] / row["cores"]))
+
+
+if __name__ == "__main__":
+    main()

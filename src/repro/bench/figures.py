@@ -1,0 +1,43 @@
+"""Figure regenerators: one function per figure of the paper's Chapter 6.
+
+Each returns the data series the figure plots, plus an ASCII rendering
+helper so the bench harness can print the same bars the paper shows.
+"""
+
+from repro.bench.harness import ExperimentHarness
+
+
+def figure_6_1(harness=None, benchmarks=None):
+    """Performance of RCCE applications using off-chip shared memory
+    and 32 cores, normalized to 32-thread Pthreads on a single core."""
+    harness = harness or ExperimentHarness()
+    return harness.figure_6_1(benchmarks)
+
+
+def figure_6_2(harness=None, benchmarks=None):
+    """Runtime comparison: RCCE off-chip shared memory vs the on-chip
+    MPB."""
+    harness = harness or ExperimentHarness()
+    return harness.figure_6_2(benchmarks)
+
+
+def figure_6_3(harness=None, benchmark="pi",
+               core_counts=(1, 2, 4, 8, 16, 32)):
+    """Pi Approximation speedup with varying RCCE core count."""
+    harness = harness or ExperimentHarness()
+    return harness.figure_6_3(benchmark, core_counts)
+
+
+def render_bars(rows, label_key, value_key, width=50, title=None):
+    """ASCII bar chart of one series."""
+    if not rows:
+        return "(no data)"
+    lines = [title] if title else []
+    peak = max(row[value_key] for row in rows) or 1.0
+    label_width = max(len(str(row[label_key])) for row in rows)
+    for row in rows:
+        value = row[value_key]
+        bar = "#" * max(int(width * value / peak), 1)
+        lines.append("%s  %s %.2f" % (
+            str(row[label_key]).ljust(label_width), bar, value))
+    return "\n".join(lines)

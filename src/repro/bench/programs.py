@@ -1,0 +1,514 @@
+"""The benchmark corpus: Pthreads C sources (paper §5.2, Appendix C).
+
+Six multithreaded programs in the paper's three workload categories —
+linear algebra (LU Decomposition, Dot Product), approximation / number
+theory (Pi Approximation, Count Primes, 3-5-Sum), and memory operations
+(Stream with its Copy/Scale/Add/Triad kernels).
+
+Each source is parameterized by thread count and problem size so the
+harness can sweep them; every worker initializes and computes on its own
+disjoint slice, the way the paper's divide-and-conquer benchmarks split
+"the same type of computation" across thread IDs.
+"""
+
+EXAMPLE_4_1 = r'''
+#include <stdio.h>
+#include <pthread.h>
+
+int global;
+int *ptr;
+int sum[3] = {0};
+
+void *tf(void *tid) {
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t threads[3];
+    int rc;
+    for(local = 0; local < 3; local++) {
+        rc = pthread_create(&threads[local], NULL, tf, (void *)local);
+    }
+    for(local = 0; local < 3; local++) {
+        pthread_join(threads[local], NULL);
+        printf("Sum Array: %d\n", sum[local]);
+    }
+    return 0;
+}
+'''
+
+
+def pi_approximation(nthreads=32, steps=16384):
+    """Algorithm 12 — midpoint-rule quadrature of 4/(1+x^2).
+
+    Cyclic iteration distribution: perfectly balanced, compute-bound
+    (one FDIV per step), so it shows the best scaling (paper: 32x)."""
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define STEPS %(steps)d
+
+double partial[%(nthreads)d];
+
+void *pi_worker(void *tid) {
+    int id = (int)tid;
+    int i;
+    double x;
+    double sum = 0.0;
+    double step = 1.0 / STEPS;
+    for (i = id; i < STEPS; i += NTHREADS) {
+        x = (i + 0.5) * step;
+        sum = sum + 4.0 / (1.0 + x * x);
+    }
+    partial[id] = sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    double pi = 0.0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, pi_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pi += partial[t];
+    }
+    pi = pi / STEPS;
+    printf("pi = %%.6f\n", pi);
+    return 0;
+}
+''' % {"nthreads": nthreads, "steps": steps}
+
+
+def sum35(nthreads=32, limit=16384):
+    """3-5-Sum — sum the multiples of 3 and 5 below ``limit``.
+
+    Cyclic distribution, pure integer arithmetic with two modulos per
+    candidate; balanced, so it scales almost as well as Pi (paper: 29x).
+    """
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define LIMIT %(limit)d
+
+long partial[%(nthreads)d];
+
+void *sum_worker(void *tid) {
+    int id = (int)tid;
+    long i;
+    long local_sum = 0;
+    for (i = id; i < LIMIT; i += NTHREADS) {
+        if (i %% 3 == 0 || i %% 5 == 0) {
+            local_sum += i;
+        }
+    }
+    partial[id] = local_sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    long total = 0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, sum_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        total += partial[t];
+    }
+    printf("sum35 = %%ld\n", total);
+    return 0;
+}
+''' % {"nthreads": nthreads, "limit": limit}
+
+
+def count_primes(nthreads=32, limit=2048):
+    """Algorithm 11 — trial-division prime counting.
+
+    *Block* distribution: thread t tests [t*L/N, (t+1)*L/N).  Trial
+    division cost grows with the candidate, so high blocks do far more
+    work — the load imbalance that caps the paper's speedup at 16x."""
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define LIMIT %(limit)d
+
+int partial[%(nthreads)d];
+
+void *prime_worker(void *tid) {
+    int id = (int)tid;
+    int chunk = LIMIT / NTHREADS;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int i;
+    int j;
+    int prime;
+    int count = 0;
+    if (id == NTHREADS - 1) {
+        hi = LIMIT;
+    }
+    if (lo < 2) {
+        lo = 2;
+    }
+    for (i = lo; i < hi; i++) {
+        prime = 1;
+        for (j = 2; j < i; j++) {
+            if (i %% j == 0) {
+                prime = 0;
+                break;
+            }
+        }
+        count += prime;
+    }
+    partial[id] = count;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    int total = 0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, prime_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        total += partial[t];
+    }
+    printf("primes = %%d\n", total);
+    return 0;
+}
+''' % {"nthreads": nthreads, "limit": limit}
+
+
+def stream(nthreads=32, n=1024):
+    """Algorithms 13-16 — the four STREAM kernels on shared arrays.
+
+    Every element access touches the big shared arrays, so this is the
+    memory-operations benchmark: uncached shared DRAM hurts it most and
+    the on-die MPB helps it most (paper Figures 6.1 / 6.2)."""
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define N %(n)d
+
+double a[%(n)d];
+double b[%(n)d];
+double c[%(n)d];
+double checksum[%(nthreads)d];
+
+void *stream_worker(void *tid) {
+    int id = (int)tid;
+    int chunk = N / NTHREADS;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int j;
+    double local = 0.0;
+    if (id == NTHREADS - 1) {
+        hi = N;
+    }
+    for (j = lo; j < hi; j++) {
+        a[j] = 1.0 + j;
+        b[j] = 2.0;
+    }
+    for (j = lo; j < hi; j++) {
+        c[j] = a[j];
+    }
+    for (j = lo; j < hi; j++) {
+        b[j] = 3.0 * c[j];
+    }
+    for (j = lo; j < hi; j++) {
+        c[j] = a[j] + b[j];
+    }
+    for (j = lo; j < hi; j++) {
+        a[j] = b[j] + 3.0 * c[j];
+    }
+    for (j = lo; j < hi; j++) {
+        local += a[j];
+    }
+    checksum[id] = local;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    double total = 0.0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, stream_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        total += checksum[t];
+    }
+    printf("stream checksum = %%.1f\n", total);
+    return 0;
+}
+''' % {"nthreads": nthreads, "n": n}
+
+
+def dot_product(nthreads=32, n=2048):
+    """Dot Product — two large shared vectors, per-thread partial sums.
+
+    Memory-bound with two streamed arrays; with 32 cores that is "at
+    least 8 cores in contention per memory controller" (paper §6), so
+    off-chip scaling trails the compute-bound benchmarks."""
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define N %(n)d
+
+double x[%(n)d];
+double y[%(n)d];
+double partial[%(nthreads)d];
+
+void *dot_worker(void *tid) {
+    int id = (int)tid;
+    int chunk = N / NTHREADS;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int j;
+    double local = 0.0;
+    if (id == NTHREADS - 1) {
+        hi = N;
+    }
+    for (j = lo; j < hi; j++) {
+        x[j] = 0.5 + j;
+        y[j] = 2.0;
+    }
+    for (j = lo; j < hi; j++) {
+        local += x[j] * y[j];
+    }
+    partial[id] = local;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    double result = 0.0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, dot_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        result += partial[t];
+    }
+    printf("dot = %%.1f\n", result);
+    return 0;
+}
+''' % {"nthreads": nthreads, "n": n}
+
+
+def lu_decomposition(nthreads=32, batch=32, dim=20):
+    """LU Decomposition — a batch of in-place Doolittle factorizations.
+
+    Threads take matrices cyclically from a shared batch; the batch is
+    sized to exceed the on-chip shared capacity, so the MPB cannot hold
+    it and the on-chip variant gains little (paper Figure 6.2: "the
+    matrix within that program does not fit into the on-chip shared
+    memory")."""
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define BATCH %(batch)d
+#define DIM %(dim)d
+
+double mats[%(total)d];
+double checksum[%(nthreads)d];
+
+void *lu_worker(void *tid) {
+    int id = (int)tid;
+    int m;
+    int i;
+    int j;
+    int k;
+    double factor;
+    double local = 0.0;
+    for (m = id; m < BATCH; m += NTHREADS) {
+        double *mat = &mats[m * DIM * DIM];
+        for (i = 0; i < DIM; i++) {
+            for (j = 0; j < DIM; j++) {
+                if (i == j) {
+                    mat[i * DIM + j] = DIM + 1.0;
+                } else {
+                    mat[i * DIM + j] = 1.0;
+                }
+            }
+        }
+        for (k = 0; k < DIM - 1; k++) {
+            for (i = k + 1; i < DIM; i++) {
+                factor = mat[i * DIM + k] / mat[k * DIM + k];
+                mat[i * DIM + k] = factor;
+                for (j = k + 1; j < DIM; j++) {
+                    mat[i * DIM + j] = mat[i * DIM + j]
+                        - factor * mat[k * DIM + j];
+                }
+            }
+        }
+        for (i = 0; i < DIM; i++) {
+            local += mat[i * DIM + i];
+        }
+    }
+    checksum[id] = local;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    double total = 0.0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, lu_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        total += checksum[t];
+    }
+    printf("lu checksum = %%.4f\n", total);
+    return 0;
+}
+''' % {"nthreads": nthreads, "batch": batch, "dim": dim,
+       "total": batch * dim * dim}
+
+
+_STREAM_KERNEL_BODIES = {
+    # Algorithms 13-16, each over the thread's slice
+    "copy": "c[j] = a[j];",
+    "scale": "b[j] = 3.0 * c[j];",
+    "add": "c[j] = a[j] + b[j];",
+    "triad": "a[j] = b[j] + 3.0 * c[j];",
+}
+
+
+def stream_kernel(kernel, nthreads=32, n=1024):
+    """One isolated STREAM kernel (Appendix C, Algorithms 13-16).
+
+    The combined ``stream`` benchmark runs all four back to back; these
+    single-kernel variants let the harness time Copy / Scale / Add /
+    Triad separately, the way STREAM reports them."""
+    if kernel not in _STREAM_KERNEL_BODIES:
+        raise KeyError("unknown stream kernel %r (have: %s)"
+                       % (kernel, ", ".join(_STREAM_KERNEL_BODIES)))
+    return r'''
+#include <stdio.h>
+#include <pthread.h>
+
+#define NTHREADS %(nthreads)d
+#define N %(n)d
+
+double a[%(n)d];
+double b[%(n)d];
+double c[%(n)d];
+double checksum[%(nthreads)d];
+
+void *kernel_worker(void *tid) {
+    int id = (int)tid;
+    int chunk = N / NTHREADS;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int j;
+    double local = 0.0;
+    if (id == NTHREADS - 1) {
+        hi = N;
+    }
+    for (j = lo; j < hi; j++) {
+        a[j] = 1.0 + j;
+        b[j] = 2.0;
+        c[j] = 0.5 * j;
+    }
+    for (j = lo; j < hi; j++) {
+        %(body)s
+    }
+    for (j = lo; j < hi; j++) {
+        local += a[j] + b[j] + c[j];
+    }
+    checksum[id] = local;
+    pthread_exit(NULL);
+}
+
+int main(void) {
+    pthread_t threads[%(nthreads)d];
+    int t;
+    double total = 0.0;
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_create(&threads[t], NULL, kernel_worker, (void *)t);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < NTHREADS; t++) {
+        total += checksum[t];
+    }
+    printf("%(kernel)s checksum = %%.1f\n", total);
+    return 0;
+}
+''' % {"nthreads": nthreads, "n": n,
+       "body": _STREAM_KERNEL_BODIES[kernel], "kernel": kernel}
+
+
+STREAM_KERNELS = tuple(_STREAM_KERNEL_BODIES)
+
+BENCHMARKS = {
+    "pi": pi_approximation,
+    "sum35": sum35,
+    "primes": count_primes,
+    "stream": stream,
+    "dot": dot_product,
+    "lu": lu_decomposition,
+}
+
+# The paper's workload categories (§5.2).
+CATEGORIES = {
+    "pi": "approximation / number theory",
+    "sum35": "approximation / number theory",
+    "primes": "approximation / number theory",
+    "stream": "memory operations",
+    "dot": "linear algebra",
+    "lu": "linear algebra",
+}
+
+
+def benchmark_names():
+    return list(BENCHMARKS)
+
+
+def benchmark_source(name, nthreads=32, **sizes):
+    """The Pthreads C source of benchmark ``name``."""
+    if name not in BENCHMARKS:
+        raise KeyError("unknown benchmark %r (have: %s)"
+                       % (name, ", ".join(BENCHMARKS)))
+    return BENCHMARKS[name](nthreads=nthreads, **sizes)

@@ -1,0 +1,59 @@
+"""Table regenerators for the paper's Tables 4.1, 4.2 and 6.1."""
+
+from repro.core.framework import TranslationFramework
+from repro.core import reports
+from repro.scc.config import Table61Config
+from repro.bench.programs import EXAMPLE_4_1
+
+# The paper's hand-made Table 4.1 (thesis page 19), for comparison.
+PAPER_TABLE_4_1 = {
+    "global": {"type": "int", "size": 1, "rd": 0, "wr": 0},
+    "ptr": {"type": "int*", "size": 1, "rd": 1, "wr": 1},
+    "sum": {"type": "int*", "size": 3, "rd": 2, "wr": 2},
+    "tLocal": {"type": "int", "size": 1, "rd": 3, "wr": 1},
+    "tid": {"type": "n/a", "size": "n/a", "rd": 1, "wr": 0},
+    "local": {"type": "int", "size": 1, "rd": 8, "wr": 4},
+    "tmp": {"type": "int", "size": 1, "rd": 1, "wr": 1},
+    "threads": {"type": "pthread t*", "size": 3, "rd": 2, "wr": 0},
+    "rc": {"type": "int", "size": 1, "rd": 0, "wr": 3},
+}
+
+# The paper's Table 4.2 (thesis page 21).
+PAPER_TABLE_4_2 = {
+    "global": ("true", "true", "false"),
+    "ptr": ("true", "true", "true"),
+    "sum": ("true", "true", "true"),
+    "tLocal": ("null", "false", "false"),
+    "tid": ("null", "false", "false"),
+    "local": ("null", "false", "false"),
+    "tmp": ("null", "false", "true"),
+    "threads": ("null", "false", "false"),
+    "rc": ("null", "false", "false"),
+}
+
+
+def _analyzed_example():
+    framework = TranslationFramework()
+    return framework.analyze(EXAMPLE_4_1)
+
+
+def table_4_1(result=None):
+    """Table 4.1 rows for the running example (or any analysis)."""
+    result = result or _analyzed_example()
+    return reports.table_4_1(result)
+
+
+def table_4_2(result=None):
+    """Table 4.2 rows for the running example (or any analysis)."""
+    result = result or _analyzed_example()
+    return reports.table_4_2(result)
+
+
+def table_6_1(config=None, execution_units=32):
+    """Table 6.1 — the SCC configuration rows."""
+    config = config or Table61Config()
+    return config.table_6_1(execution_units)
+
+
+def format_table(rows, columns=None, title=None):
+    return reports.format_table(rows, columns, title)

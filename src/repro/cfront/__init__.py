@@ -1,0 +1,30 @@
+"""C language frontend: lexer, preprocessor, parser, AST, types, codegen.
+
+This package plays the role CETUS plays in the paper: it turns C source
+into a traversable intermediate representation (IR) and can emit C source
+back out.  It supports the C subset exercised by Pthreads benchmark
+programs: declarations (scalars, pointers, arrays, structs, typedefs),
+functions, the full statement set, and the usual expression grammar.
+"""
+
+from repro.cfront.errors import CFrontError, LexError, ParseError
+from repro.cfront.lexer import Lexer, tokenize
+from repro.cfront.parser import Parser, parse
+from repro.cfront.preprocessor import Preprocessor, preprocess
+from repro.cfront.codegen import CodeGenerator, generate
+from repro.cfront import c_ast
+
+__all__ = [
+    "CFrontError",
+    "LexError",
+    "ParseError",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "Preprocessor",
+    "preprocess",
+    "CodeGenerator",
+    "generate",
+    "c_ast",
+]

@@ -1,0 +1,249 @@
+"""C source emission from the AST (the back half of the source-to-source
+translator)."""
+
+from repro.cfront import c_ast
+
+_PRECEDENCE = {
+    ",": 1,
+    "=": 2, "+=": 2, "-=": 2, "*=": 2, "/=": 2, "%=": 2,
+    "&=": 2, "|=": 2, "^=": 2, "<<=": 2, ">>=": 2,
+    "?:": 3,
+    "||": 4,
+    "&&": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9, "!=": 9,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11,
+    "+": 12, "-": 12,
+    "*": 13, "/": 13, "%": 13,
+}
+_UNARY_PRECEDENCE = 14
+_POSTFIX_PRECEDENCE = 15
+
+
+class CodeGenerator:
+    """Renders AST nodes back to C source text."""
+
+    def __init__(self, indent="    "):
+        self.indent_text = indent
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self, node):
+        if isinstance(node, c_ast.TranslationUnit):
+            return self._translation_unit(node)
+        if isinstance(node, c_ast.Expression):
+            return self._expr(node)
+        return self._stmt(node, 0)
+
+    # -- top level ----------------------------------------------------------
+
+    def _translation_unit(self, unit):
+        parts = ["#include <%s>" % header for header in unit.includes]
+        if parts:
+            parts.append("")
+        for decl in unit.decls:
+            if isinstance(decl, c_ast.FuncDef):
+                parts.append(self._funcdef(decl))
+                parts.append("")
+            elif isinstance(decl, c_ast.Decl):
+                parts.append(self._decl(decl) + ";")
+            elif isinstance(decl, c_ast.StructDecl):
+                parts.append(self._struct_def(decl.struct_type) + ";")
+        return "\n".join(parts).rstrip() + "\n"
+
+    def _funcdef(self, func):
+        params = ", ".join(self._decl(p) for p in func.params)
+        if not params:
+            params = "void" if func.params == [] else params
+        signature = func.return_type.to_c(
+            "%s(%s)" % (func.name, params))
+        if func.storage:
+            signature = "%s %s" % (func.storage, signature)
+        return "%s\n%s" % (signature, self._stmt(func.body, 0))
+
+    def _decl(self, decl):
+        text = decl.ctype.to_c(decl.name or "")
+        if decl.quals:
+            text = "%s %s" % (" ".join(decl.quals), text)
+        if decl.storage:
+            text = "%s %s" % (decl.storage, text)
+        if decl.init is not None:
+            text += " = %s" % self._expr(decl.init)
+        return text
+
+    def _struct_def(self, struct):
+        keyword = "union" if struct.is_union else "struct"
+        head = "%s %s" % (keyword, struct.name) if struct.name else keyword
+        if struct.fields is None:
+            return head
+        lines = [head + " {"]
+        for name, ctype in struct.fields:
+            lines.append(self.indent_text + ctype.to_c(name) + ";")
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self, stmt, depth):
+        pad = self.indent_text * depth
+        if isinstance(stmt, c_ast.Compound):
+            inner = [self._stmt(item, depth + 1) for item in stmt.items]
+            return "%s{\n%s\n%s}" % (pad, "\n".join(inner), pad) if inner \
+                else "%s{\n%s}" % (pad, pad)
+        if isinstance(stmt, c_ast.DeclStmt):
+            return "\n".join("%s%s;" % (pad, self._decl(d))
+                             for d in stmt.decls)
+        if isinstance(stmt, c_ast.Decl):
+            return "%s%s;" % (pad, self._decl(stmt))
+        if isinstance(stmt, c_ast.StructDecl):
+            body = self._struct_def(stmt.struct_type)
+            return "\n".join(pad + line for line in body.split("\n")) + ";"
+        if isinstance(stmt, c_ast.ExprStmt):
+            return "%s%s;" % (pad, self._expr(stmt.expr))
+        if isinstance(stmt, c_ast.If):
+            text = "%sif (%s)\n%s" % (pad, self._expr(stmt.cond),
+                                      self._block(stmt.then, depth))
+            if stmt.els is not None:
+                text += "\n%selse\n%s" % (pad, self._block(stmt.els, depth))
+            return text
+        if isinstance(stmt, c_ast.While):
+            return "%swhile (%s)\n%s" % (pad, self._expr(stmt.cond),
+                                         self._block(stmt.body, depth))
+        if isinstance(stmt, c_ast.DoWhile):
+            return "%sdo\n%s\n%swhile (%s);" % (
+                pad, self._block(stmt.body, depth), pad,
+                self._expr(stmt.cond))
+        if isinstance(stmt, c_ast.For):
+            init = ""
+            if isinstance(stmt.init, c_ast.DeclStmt):
+                init = "; ".join(self._decl(d) for d in stmt.init.decls)
+            elif isinstance(stmt.init, c_ast.ExprStmt):
+                init = self._expr(stmt.init.expr)
+            cond = self._expr(stmt.cond) if stmt.cond is not None else ""
+            step = self._expr(stmt.step) if stmt.step is not None else ""
+            return "%sfor (%s; %s; %s)\n%s" % (
+                pad, init, cond, step, self._block(stmt.body, depth))
+        if isinstance(stmt, c_ast.Return):
+            if stmt.expr is None:
+                return "%sreturn;" % pad
+            return "%sreturn (%s);" % (pad, self._expr(stmt.expr))
+        if isinstance(stmt, c_ast.Break):
+            return "%sbreak;" % pad
+        if isinstance(stmt, c_ast.Continue):
+            return "%scontinue;" % pad
+        if isinstance(stmt, c_ast.EmptyStmt):
+            return "%s;" % pad
+        if isinstance(stmt, c_ast.Switch):
+            lines = ["%sswitch (%s) {" % (pad, self._expr(stmt.cond))]
+            for item in stmt.body.items:
+                lines.append(self._stmt(item, depth + 1))
+            lines.append("%s}" % pad)
+            return "\n".join(lines)
+        if isinstance(stmt, c_ast.Case):
+            pad1 = self.indent_text * depth
+            lines = ["%scase %s:" % (pad1, self._expr(stmt.expr))]
+            lines.extend(self._stmt(s, depth + 1) for s in stmt.stmts)
+            return "\n".join(lines)
+        if isinstance(stmt, c_ast.Default):
+            pad1 = self.indent_text * depth
+            lines = ["%sdefault:" % pad1]
+            lines.extend(self._stmt(s, depth + 1) for s in stmt.stmts)
+            return "\n".join(lines)
+        if isinstance(stmt, c_ast.Goto):
+            return "%sgoto %s;" % (pad, stmt.label)
+        if isinstance(stmt, c_ast.Label):
+            return "%s%s:\n%s" % (pad, stmt.name,
+                                  self._stmt(stmt.stmt, depth))
+        raise TypeError("cannot generate code for %r" % type(stmt).__name__)
+
+    def _block(self, stmt, depth):
+        """Render a statement as the body of a control construct."""
+        if isinstance(stmt, c_ast.Compound):
+            return self._stmt(stmt, depth)
+        return self._stmt(stmt, depth + 1)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr, parent_prec=0):
+        if isinstance(expr, c_ast.Id):
+            return expr.name
+        if isinstance(expr, c_ast.Constant):
+            return expr.text
+        if isinstance(expr, c_ast.StringLiteral):
+            return '"%s"' % _escape_string(expr.value)
+        if isinstance(expr, c_ast.BinaryOp):
+            prec = _PRECEDENCE[expr.op]
+            text = "%s %s %s" % (self._expr(expr.left, prec), expr.op,
+                                 self._expr(expr.right, prec + 1))
+            return self._wrap(text, prec, parent_prec)
+        if isinstance(expr, c_ast.Assignment):
+            prec = _PRECEDENCE[expr.op]
+            text = "%s %s %s" % (self._expr(expr.lvalue, prec + 1), expr.op,
+                                 self._expr(expr.rvalue, prec))
+            return self._wrap(text, prec, parent_prec)
+        if isinstance(expr, c_ast.TernaryOp):
+            prec = _PRECEDENCE["?:"]
+            text = "%s ? %s : %s" % (self._expr(expr.cond, prec + 1),
+                                     self._expr(expr.then),
+                                     self._expr(expr.els, prec))
+            return self._wrap(text, prec, parent_prec)
+        if isinstance(expr, c_ast.UnaryOp):
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            if expr.op in ("p++", "p--"):
+                text = "%s%s" % (operand, expr.op[1:])
+                return self._wrap(text, _POSTFIX_PRECEDENCE, parent_prec)
+            if expr.op == "sizeof":
+                text = "sizeof(%s)" % self._expr(expr.operand)
+                return text
+            # keep "-(-a)" from lexing as "--a" (same for +, &)
+            separator = " " if operand.startswith(expr.op[0]) else ""
+            text = "%s%s%s" % (expr.op, separator, operand)
+            return self._wrap(text, _UNARY_PRECEDENCE, parent_prec)
+        if isinstance(expr, c_ast.FuncCall):
+            func = self._expr(expr.func, _POSTFIX_PRECEDENCE)
+            args = ", ".join(self._expr(a) for a in expr.args)
+            return "%s(%s)" % (func, args)
+        if isinstance(expr, c_ast.ArrayRef):
+            return "%s[%s]" % (self._expr(expr.base, _POSTFIX_PRECEDENCE),
+                               self._expr(expr.index))
+        if isinstance(expr, c_ast.MemberRef):
+            op = "->" if expr.arrow else "."
+            return "%s%s%s" % (self._expr(expr.base, _POSTFIX_PRECEDENCE),
+                               op, expr.member)
+        if isinstance(expr, c_ast.Cast):
+            text = "(%s)%s" % (expr.ctype.to_c(),
+                               self._expr(expr.expr, _UNARY_PRECEDENCE))
+            return self._wrap(text, _UNARY_PRECEDENCE, parent_prec)
+        if isinstance(expr, c_ast.SizeofType):
+            return "sizeof(%s)" % expr.ctype.to_c()
+        if isinstance(expr, c_ast.Comma):
+            text = ", ".join(self._expr(e, _PRECEDENCE[","] + 1)
+                             for e in expr.exprs)
+            return self._wrap(text, _PRECEDENCE[","], parent_prec)
+        if isinstance(expr, c_ast.InitList):
+            return "{%s}" % ", ".join(self._expr(e) for e in expr.exprs)
+        raise TypeError("cannot generate code for %r" % type(expr).__name__)
+
+    @staticmethod
+    def _wrap(text, prec, parent_prec):
+        if prec < parent_prec:
+            return "(%s)" % text
+        return text
+
+
+def _escape_string(value):
+    replacements = [
+        ("\\", "\\\\"), ('"', '\\"'), ("\n", "\\n"), ("\t", "\\t"),
+        ("\r", "\\r"), ("\0", "\\0"),
+    ]
+    for old, new in replacements:
+        value = value.replace(old, new)
+    return value
+
+
+def generate(node, indent="    "):
+    """Render ``node`` (TranslationUnit, statement, or expression) to C."""
+    return CodeGenerator(indent).generate(node)

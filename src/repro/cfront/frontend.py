@@ -1,0 +1,19 @@
+"""One-call frontend: preprocess + parse raw C source."""
+
+from repro.cfront.parser import parse
+from repro.cfront.preprocessor import preprocess
+
+# Headers whose contents we model internally rather than reading from disk.
+ENVIRONMENT_HEADERS = {
+    "stdio.h", "stdlib.h", "string.h", "math.h", "pthread.h",
+    "unistd.h", "sys/time.h", "time.h", "RCCE.h",
+}
+
+
+def parse_program(source, filename="<source>", predefined=None,
+                  header_map=None):
+    """Preprocess and parse ``source``; returns a TranslationUnit whose
+    ``includes`` records the headers the program asked for."""
+    result = preprocess(source, predefined=predefined,
+                        header_map=header_map, filename=filename)
+    return parse(result.text, filename, includes=result.includes)

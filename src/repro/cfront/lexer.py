@@ -1,0 +1,231 @@
+"""Hand-written lexer for the C subset.
+
+Skips whitespace and both comment styles, tracks line/column, and leaves
+preprocessor directives (lines starting with ``#``) to the preprocessor —
+when the lexer is handed already-preprocessed text it treats a stray ``#``
+as an error.
+"""
+
+from repro.cfront.errors import LexError
+from repro.cfront.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+class Lexer:
+    """Tokenizes a C source string into a list of :class:`Token`."""
+
+    def __init__(self, source, filename="<source>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message):
+        raise LexError(message, self.line, self.column, self.filename)
+
+    def tokenize(self):
+        """Return the full token list, terminated by an EOF token."""
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset=0):
+        """Next character, or "\\0" at end of input.  The NUL sentinel
+        (never present in source text) keeps ``peek() in "uUlL"``-style
+        membership tests from matching the empty string."""
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return "\0"
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self.error("unterminated block comment")
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", line, column)
+
+        ch = self._peek()
+        if ch in _IDENT_START:
+            return self._lex_ident(line, column)
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        if ch == "#":
+            self.error("preprocessor directive reached the lexer; "
+                       "run the Preprocessor first")
+
+        for text, kind in PUNCTUATORS:
+            if self.source.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(kind, text, line, column)
+
+        self.error("unexpected character %r" % ch)
+
+    def _lex_ident(self, line, column):
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column)
+
+    def _lex_number(self, line, column):
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                self.error("malformed hex constant")
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+            text = self.source[start:self.pos]
+            self._skip_int_suffix()
+            return Token(TokenKind.INT_CONST, text, line, column)
+
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == ".":
+            is_float = True
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1) in _DIGITS
+            or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        text = self.source[start:self.pos]
+        if is_float:
+            if self._peek() in "fFlL":
+                self._advance()
+            return Token(TokenKind.FLOAT_CONST, text, line, column)
+        self._skip_int_suffix()
+        return Token(TokenKind.INT_CONST, text, line, column)
+
+    def _skip_int_suffix(self):
+        while self._peek() in "uUlL":
+            self._advance()
+
+    def _lex_string(self, line, column):
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            if self.pos >= len(self.source):
+                self.error("unterminated string literal")
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\n":
+                self.error("newline in string literal")
+            if ch == "\\":
+                self._advance()
+                chars.append(self._read_escape())
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokenKind.STRING, "".join(chars), line, column)
+
+    def _lex_char(self, line, column):
+        self._advance()  # opening quote
+        if self.pos >= len(self.source):
+            self.error("unterminated character constant")
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            value = self._read_escape()
+        elif ch == "'":
+            self.error("empty character constant")
+        else:
+            value = ch
+            self._advance()
+        if self._peek() != "'":
+            self.error("unterminated character constant")
+        self._advance()
+        return Token(TokenKind.CHAR_CONST, value, line, column)
+
+    def _read_escape(self):
+        ch = self._peek()
+        if ch in _SIMPLE_ESCAPES:
+            self._advance()
+            return _SIMPLE_ESCAPES[ch]
+        if ch == "x":
+            self._advance()
+            digits = []
+            while self._peek() in _HEX_DIGITS:
+                digits.append(self._peek())
+                self._advance()
+            if not digits:
+                self.error("malformed hex escape")
+            return chr(int("".join(digits), 16))
+        self.error("unknown escape sequence \\%s" % ch)
+
+
+def tokenize(source, filename="<source>"):
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,324 @@
+"""A small C preprocessor.
+
+Supports what the benchmark corpus needs:
+
+* ``#include <...>`` / ``#include "..."`` — recorded (and optionally
+  expanded from a header map) rather than resolved from the filesystem;
+  the frontend treats ``pthread.h``/``stdio.h``/``RCCE.h`` as known
+  environment headers whose symbols the later stages understand.
+* object-like ``#define NAME value`` with recursive token substitution,
+* function-like ``#define NAME(a, b) body`` with argument substitution,
+* ``#undef``, ``#ifdef`` / ``#ifndef`` / ``#else`` / ``#endif``,
+* line continuations inside directives.
+
+The output is plain C text with directives removed, plus the list of
+included headers (the translator uses it to swap ``pthread.h`` for
+``RCCE.h``).
+"""
+
+from repro.cfront.errors import PreprocessError
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+class MacroDefinition:
+    """One ``#define``; ``params`` is None for object-like macros."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, body, params=None):
+        self.name = name
+        self.body = body
+        self.params = params
+
+    @property
+    def is_function_like(self):
+        return self.params is not None
+
+    def __repr__(self):
+        if self.is_function_like:
+            return "MacroDefinition(%s(%s) -> %r)" % (
+                self.name, ", ".join(self.params), self.body)
+        return "MacroDefinition(%s -> %r)" % (self.name, self.body)
+
+
+class PreprocessResult:
+    """Preprocessed text plus everything the directives declared."""
+
+    def __init__(self, text, includes, macros):
+        self.text = text
+        self.includes = includes
+        self.macros = macros
+
+    def __repr__(self):
+        return "PreprocessResult(includes=%r, macros=%d)" % (
+            self.includes, len(self.macros))
+
+
+class Preprocessor:
+    """Directive interpreter + macro expander over raw source text."""
+
+    def __init__(self, predefined=None, header_map=None, filename="<source>"):
+        self.macros = {}
+        self.filename = filename
+        self.header_map = dict(header_map or {})
+        for name, value in (predefined or {}).items():
+            self.macros[name] = MacroDefinition(name, str(value))
+
+    def process(self, source):
+        """Preprocess ``source`` and return a :class:`PreprocessResult`."""
+        includes = []
+        output_lines = []
+        # condition stack: each entry is (taking, seen_true)
+        cond_stack = []
+        lines = self._merge_continuations(source.split("\n"))
+        for lineno, line in lines:
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                self._directive(stripped[1:].strip(), lineno,
+                                includes, cond_stack)
+                output_lines.append("")  # preserve line numbering
+                continue
+            if cond_stack and not all(t for t, _ in cond_stack):
+                output_lines.append("")
+                continue
+            output_lines.append(self._expand_line(line))
+        if cond_stack:
+            raise PreprocessError("unterminated #if block",
+                                  filename=self.filename)
+        return PreprocessResult("\n".join(output_lines), includes,
+                                dict(self.macros))
+
+    # -- directives --------------------------------------------------------
+
+    def _directive(self, text, lineno, includes, cond_stack):
+        name, _, rest = text.partition(" ")
+        name = name.strip()
+        rest = rest.strip()
+        taking = not cond_stack or all(t for t, _ in cond_stack)
+
+        if name in ("ifdef", "ifndef"):
+            macro = rest.split()[0] if rest else ""
+            if not macro:
+                raise PreprocessError("#%s needs a macro name" % name,
+                                      lineno, filename=self.filename)
+            active = (macro in self.macros) == (name == "ifdef")
+            cond_stack.append((taking and active, active))
+            return
+        if name == "else":
+            if not cond_stack:
+                raise PreprocessError("#else without #if", lineno,
+                                      filename=self.filename)
+            _, seen_true = cond_stack[-1]
+            parent_taking = len(cond_stack) == 1 or all(
+                t for t, _ in cond_stack[:-1])
+            cond_stack[-1] = (parent_taking and not seen_true, True)
+            return
+        if name == "endif":
+            if not cond_stack:
+                raise PreprocessError("#endif without #if", lineno,
+                                      filename=self.filename)
+            cond_stack.pop()
+            return
+
+        if not taking:
+            return
+
+        if name == "include":
+            header = rest.strip()
+            if header.startswith("<") and header.endswith(">"):
+                header = header[1:-1]
+            elif header.startswith('"') and header.endswith('"'):
+                header = header[1:-1]
+            else:
+                raise PreprocessError("malformed #include", lineno,
+                                      filename=self.filename)
+            includes.append(header)
+            if header in self.header_map:
+                nested = Preprocessor(header_map=self.header_map,
+                                      filename=header)
+                nested.macros = self.macros
+                result = nested.process(self.header_map[header])
+                includes.extend(result.includes)
+            return
+        if name == "define":
+            self._define(rest, lineno)
+            return
+        if name == "undef":
+            self.macros.pop(rest.split()[0], None)
+            return
+        if name == "pragma":
+            return  # ignored, like most compilers ignore unknown pragmas
+        raise PreprocessError("unsupported directive #%s" % name, lineno,
+                              filename=self.filename)
+
+    def _define(self, rest, lineno):
+        if not rest:
+            raise PreprocessError("#define needs a name", lineno,
+                                  filename=self.filename)
+        index = 0
+        while index < len(rest) and rest[index] in _IDENT_CONT:
+            index += 1
+        name = rest[:index]
+        if not name or name[0] not in _IDENT_START:
+            raise PreprocessError("malformed #define", lineno,
+                                  filename=self.filename)
+        remainder = rest[index:]
+        if remainder.startswith("("):
+            close = remainder.find(")")
+            if close < 0:
+                raise PreprocessError("malformed macro parameter list",
+                                      lineno, filename=self.filename)
+            params_text = remainder[1:close].strip()
+            params = ([p.strip() for p in params_text.split(",")]
+                      if params_text else [])
+            body = remainder[close + 1:].strip()
+            self.macros[name] = MacroDefinition(name, body, params)
+        else:
+            self.macros[name] = MacroDefinition(name, remainder.strip())
+
+    # -- macro expansion ---------------------------------------------------
+
+    def _merge_continuations(self, raw_lines):
+        merged = []
+        buffer = ""
+        start = None
+        for number, line in enumerate(raw_lines, start=1):
+            if start is None:
+                start = number
+            if line.endswith("\\"):
+                buffer += line[:-1]
+                continue
+            merged.append((start, buffer + line))
+            buffer = ""
+            start = None
+        if buffer:
+            merged.append((start, buffer))
+        return merged
+
+    def _expand_line(self, line, active=None):
+        """Expand macros in one line, skipping string/char literals."""
+        if active is None:
+            active = frozenset()
+        out = []
+        index = 0
+        while index < len(line):
+            ch = line[index]
+            if ch in "\"'":
+                end = self._skip_literal(line, index)
+                out.append(line[index:end])
+                index = end
+                continue
+            if ch in _IDENT_START:
+                start = index
+                while index < len(line) and line[index] in _IDENT_CONT:
+                    index += 1
+                word = line[start:index]
+                macro = self.macros.get(word)
+                if macro is None or word in active:
+                    out.append(word)
+                    continue
+                if macro.is_function_like:
+                    args, next_index = self._read_macro_args(line, index)
+                    if args is None:
+                        out.append(word)
+                        continue
+                    index = next_index
+                    expansion = self._substitute(macro, args)
+                else:
+                    expansion = macro.body
+                out.append(self._expand_line(expansion,
+                                             active | {word}))
+                continue
+            out.append(ch)
+            index += 1
+        return "".join(out)
+
+    def _skip_literal(self, line, index):
+        quote = line[index]
+        index += 1
+        while index < len(line):
+            if line[index] == "\\":
+                index += 2
+                continue
+            if line[index] == quote:
+                return index + 1
+            index += 1
+        return index
+
+    def _read_macro_args(self, line, index):
+        """Parse ``(arg, arg, ...)`` after a function-like macro name.
+
+        Returns ``(args, next_index)`` or ``(None, index)`` if there is no
+        call (the bare macro name is then left alone, matching cpp).
+        """
+        probe = index
+        while probe < len(line) and line[probe] in " \t":
+            probe += 1
+        if probe >= len(line) or line[probe] != "(":
+            return None, index
+        depth = 0
+        args = []
+        current = []
+        pos = probe
+        while pos < len(line):
+            ch = line[pos]
+            if ch in "\"'":
+                end = self._skip_literal(line, pos)
+                current.append(line[pos:end])
+                pos = end
+                continue
+            if ch == "(":
+                depth += 1
+                if depth > 1:
+                    current.append(ch)
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append("".join(current).strip())
+                    return args, pos + 1
+                current.append(ch)
+            elif ch == "," and depth == 1:
+                args.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+            pos += 1
+        raise PreprocessError("unterminated macro invocation",
+                              filename=self.filename)
+
+    def _substitute(self, macro, args):
+        if len(macro.params) != len(args) and not (
+                len(macro.params) == 0 and args == [""]):
+            raise PreprocessError(
+                "macro %s expects %d arguments, got %d"
+                % (macro.name, len(macro.params), len(args)),
+                filename=self.filename)
+        mapping = dict(zip(macro.params, args))
+        out = []
+        index = 0
+        body = macro.body
+        while index < len(body):
+            ch = body[index]
+            if ch in "\"'":
+                end = self._skip_literal(body, index)
+                out.append(body[index:end])
+                index = end
+                continue
+            if ch in _IDENT_START:
+                start = index
+                while index < len(body) and body[index] in _IDENT_CONT:
+                    index += 1
+                word = body[start:index]
+                out.append(mapping.get(word, word))
+                continue
+            out.append(ch)
+            index += 1
+        return "".join(out)
+
+
+def preprocess(source, predefined=None, header_map=None,
+               filename="<source>"):
+    """One-shot preprocessing helper returning a :class:`PreprocessResult`."""
+    return Preprocessor(predefined, header_map, filename).process(source)

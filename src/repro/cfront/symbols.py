@@ -1,0 +1,102 @@
+"""Scope-aware symbol tables for declared names."""
+
+from repro.cfront import c_ast
+
+
+class Symbol:
+    """One declared name with its type and the scope it lives in."""
+
+    __slots__ = ("name", "ctype", "scope_kind", "decl", "function")
+
+    def __init__(self, name, ctype, scope_kind, decl=None, function=None):
+        self.name = name
+        self.ctype = ctype
+        self.scope_kind = scope_kind  # 'global' | 'param' | 'local'
+        self.decl = decl
+        self.function = function      # enclosing function name, or None
+
+    @property
+    def is_global(self):
+        return self.scope_kind == "global"
+
+    def __repr__(self):
+        return "Symbol(%s: %s, %s%s)" % (
+            self.name, self.ctype.to_c(), self.scope_kind,
+            " in %s" % self.function if self.function else "")
+
+
+class Scope:
+    """A lexical scope; lookups fall back to the parent scope."""
+
+    def __init__(self, parent=None, kind="block"):
+        self.parent = parent
+        self.kind = kind
+        self.symbols = {}
+
+    def define(self, symbol):
+        self.symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+    def __contains__(self, name):
+        return self.lookup(name) is not None
+
+
+class SymbolTableBuilder:
+    """Builds a flat index of every declared symbol in a translation unit.
+
+    The result maps ``(function_or_None, name)`` to :class:`Symbol`; a
+    per-function view and the set of global names are also exposed.
+    """
+
+    def __init__(self, unit):
+        self.unit = unit
+        self.globals = {}
+        self.by_function = {}
+        self._build()
+
+    def _build(self):
+        for decl in self.unit.decls:
+            if isinstance(decl, c_ast.Decl) and not decl.is_typedef \
+                    and not decl.ctype.is_function:
+                self.globals[decl.name] = Symbol(
+                    decl.name, decl.ctype, "global", decl)
+            elif isinstance(decl, c_ast.FuncDef):
+                self.by_function[decl.name] = self._function_symbols(decl)
+
+    def _function_symbols(self, func):
+        symbols = {}
+        for param in func.params:
+            if param.name:
+                symbols[param.name] = Symbol(
+                    param.name, param.ctype, "param", param, func.name)
+        for node in c_ast.walk(func.body):
+            if isinstance(node, c_ast.DeclStmt):
+                for decl in node.decls:
+                    if not decl.is_typedef:
+                        symbols[decl.name] = Symbol(
+                            decl.name, decl.ctype, "local", decl, func.name)
+        return symbols
+
+    def lookup(self, name, function=None):
+        """Resolve ``name`` as seen from inside ``function`` (C scoping:
+        locals and params shadow globals)."""
+        if function is not None and function in self.by_function:
+            local = self.by_function[function].get(name)
+            if local is not None:
+                return local
+        return self.globals.get(name)
+
+    def all_symbols(self):
+        """Every symbol in the unit as (symbol,) in stable order."""
+        out = list(self.globals.values())
+        for func_name in self.by_function:
+            out.extend(self.by_function[func_name].values())
+        return out

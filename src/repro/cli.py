@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+translate
+    Pthreads C in, RCCE C out (the paper's end product).
+analyze
+    Print Tables 4.1 / 4.2 and the partition plan for a program.
+run
+    Simulate a program on the SCC model — the Pthreads original on one
+    core, the translated RCCE variant on N cores, or both side by side.
+bench
+    Regenerate a figure of the paper's evaluation.
+"""
+
+import argparse
+import sys
+
+from repro.bench.figures import render_bars
+from repro.bench.harness import ExperimentHarness
+from repro.core.framework import TranslationFramework
+from repro.core.reports import format_table, table_4_1, table_4_2
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pthreads-to-RCCE translation and SCC simulation "
+        "(DATE 2015 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    translate = sub.add_parser("translate",
+                               help="translate Pthreads C to RCCE C")
+    translate.add_argument("source", help="input C file ('-' for stdin)")
+    translate.add_argument("-o", "--output", default=None,
+                           help="output file (default: stdout)")
+    _framework_args(translate)
+
+    analyze = sub.add_parser("analyze",
+                             help="print the analysis tables")
+    analyze.add_argument("source", help="input C file ('-' for stdin)")
+    _framework_args(analyze)
+
+    run = sub.add_parser("run", help="simulate on the SCC model")
+    run.add_argument("source", help="input C file ('-' for stdin)")
+    run.add_argument("--ues", type=int, default=8,
+                     help="RCCE cores to simulate (default 8)")
+    run.add_argument("--mode", choices=["pthread", "rcce", "compare"],
+                     default="compare")
+    run.add_argument("--stats", action="store_true",
+                     help="print chip counters after the RCCE run")
+    _framework_args(run)
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument("figure", choices=["6.1", "6.2", "6.3"])
+    bench.add_argument("--ues", type=int, default=32)
+
+    return parser
+
+
+def _framework_args(parser):
+    parser.add_argument("--policy", default="size",
+                        choices=["size", "frequency", "off-chip-only"],
+                        help="Stage 4 partition policy")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="on-chip shared capacity in bytes")
+    parser.add_argument("--fold", action="store_true",
+                        help="enable many-to-one thread folding (§7.2)")
+    parser.add_argument("--split", action="store_true",
+                        help="allow SRAM/DRAM split allocation (§4.4)")
+
+
+def _read_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _framework(args):
+    kwargs = {"partition_policy": args.policy,
+              "fold_threads": args.fold,
+              "allow_split": getattr(args, "split", False)}
+    if args.capacity is not None:
+        kwargs["on_chip_capacity"] = args.capacity
+    return TranslationFramework(**kwargs)
+
+
+def cmd_translate(args, out):
+    source = _read_source(args.source)
+    result = _framework(args).translate(source)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.rcce_source)
+        out.write("wrote %s\n" % args.output)
+    else:
+        out.write(result.rcce_source)
+    return 0
+
+
+def cmd_analyze(args, out):
+    source = _read_source(args.source)
+    framework = _framework(args)
+    result = framework.partition(source)
+    out.write(format_table(
+        table_4_1(result),
+        title="Per-variable information (post Stage 3)") + "\n\n")
+    out.write(format_table(
+        table_4_2(result), title="Sharing status per stage") + "\n\n")
+    plan = result.plan
+    out.write("Partition plan (%s, capacity %d B):\n"
+              % (plan.policy, plan.capacity))
+    for placement in sorted(plan.placements.values(),
+                            key=lambda p: p.info.name):
+        out.write("  %-12s %6d B  -> %s\n"
+                  % (placement.info.name, placement.info.mem_size,
+                     placement.bank))
+    return 0
+
+
+def cmd_run(args, out):
+    source = _read_source(args.source)
+    baseline = None
+    if args.mode in ("pthread", "compare"):
+        baseline = run_pthread_single_core(source)
+        out.write("pthread x1 core : %12d cycles  %s\n"
+                  % (baseline.cycles,
+                     baseline.stdout().strip().splitlines()[:1]))
+    if args.mode in ("rcce", "compare"):
+        if "RCCE_APP" in source:
+            from repro.cfront.frontend import parse_program
+            unit = parse_program(source)
+        else:
+            unit = _framework(args).translate(source).unit
+        from repro.scc.chip import SCCChip
+        from repro.scc.config import Table61Config
+        chip = SCCChip(Table61Config())
+        rcce = run_rcce(unit, args.ues, chip.config, chip)
+        first = rcce.stdout().strip().splitlines()[:1]
+        out.write("rcce    x%d cores: %12d cycles  %s\n"
+                  % (args.ues, rcce.cycles, first))
+        if baseline is not None:
+            out.write("speedup: %.2fx\n" % (baseline.cycles / rcce.cycles))
+        if getattr(args, "stats", False):
+            from repro.scc.report import chip_report, render_report
+            out.write(render_report(chip_report(chip)) + "\n")
+    return 0
+
+
+def cmd_bench(args, out):
+    harness = ExperimentHarness(num_ues=args.ues)
+    if args.figure == "6.1":
+        rows = harness.figure_6_1()
+        out.write(render_bars(rows, "benchmark", "speedup",
+                              title="Figure 6.1") + "\n")
+    elif args.figure == "6.2":
+        rows = harness.figure_6_2()
+        out.write(render_bars(rows, "benchmark", "improvement",
+                              title="Figure 6.2") + "\n")
+    else:
+        rows = harness.figure_6_3()
+        out.write(render_bars(rows, "cores", "speedup",
+                              title="Figure 6.3") + "\n")
+    return 0
+
+
+COMMANDS = {
+    "translate": cmd_translate,
+    "analyze": cmd_analyze,
+    "run": cmd_run,
+    "bench": cmd_bench,
+}
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

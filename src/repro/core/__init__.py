@@ -1,0 +1,25 @@
+"""The paper's contribution: the five-stage Pthreads-to-HSM framework.
+
+Stage 1 (:mod:`stage1_scope`) — variable scope analysis,
+Stage 2 (:mod:`stage2_interthread`) — inter-thread analysis (Algorithm 1),
+Stage 3 (:mod:`stage3_pointsto`) — alias & points-to analysis (Algorithm 2),
+Stage 4 (:mod:`stage4_partition`) — data partitioning (Algorithm 3),
+Stage 5 (:mod:`stage5_translate`) — threads-to-processes translation
+(Algorithm 4) plus the removal/insertion passes of Appendices A and B.
+
+:class:`~repro.core.framework.TranslationFramework` is the public facade.
+"""
+
+from repro.core.varinfo import Sharing, VariableInfo, VariableTable
+from repro.core.framework import TranslationFramework, FrameworkResult
+from repro.core.stage4_partition import MemoryBank, PartitionPlan
+
+__all__ = [
+    "Sharing",
+    "VariableInfo",
+    "VariableTable",
+    "TranslationFramework",
+    "FrameworkResult",
+    "MemoryBank",
+    "PartitionPlan",
+]

@@ -1,0 +1,105 @@
+"""Dynamic (runtime) shared-data detection — the related-work
+comparator.
+
+The paper argues for *compile-time* identification of shared data and
+contrasts it with runtime detectors that "require multiple runs of the
+application" (§1, §2).  This module implements such a detector: run the
+multithreaded program under the interpreter with an access tracer and
+report every variable physically touched by more than one thread.
+
+Its purpose here is validation: the static Stages 1-3 must produce a
+**conservative superset** — every dynamically-shared variable must be
+statically classified shared (soundness), while the static set may be
+larger (conservatism).  ``compare_static_dynamic`` computes both sides;
+the property is asserted over the whole benchmark corpus in
+``tests/integration/test_superset_property.py`` and measured in
+``benchmarks/bench_ablation_superset.py``.
+"""
+
+from repro.cfront.frontend import parse_program
+from repro.scc.chip import SCCChip
+from repro.scc.config import Table61Config
+from repro.sim.interpreter import Interpreter, ThreadExit
+from repro.sim.machine import Memory
+from repro.sim.pthread_rt import PthreadRuntime
+from repro.sim.trace import AccessTracer
+from repro.core.framework import TranslationFramework
+
+
+class SharingComparison:
+    """Static-vs-dynamic sharing sets for one program."""
+
+    def __init__(self, static_shared, dynamic_shared, observed):
+        self.static_shared = static_shared      # set of (function, name)
+        self.dynamic_shared = dynamic_shared
+        self.observed = observed
+
+    @property
+    def is_conservative_superset(self):
+        """Soundness: nothing dynamically shared was missed."""
+        return self.dynamic_shared <= self.static_shared
+
+    @property
+    def missed(self):
+        """Dynamically shared but statically private: unsound misses."""
+        return self.dynamic_shared - self.static_shared
+
+    @property
+    def overapproximation(self):
+        """Statically shared but never observed shared: the price of
+        compile-time conservatism."""
+        return self.static_shared - self.dynamic_shared
+
+    @property
+    def tightness(self):
+        """|dynamic| / |static| in [0, 1]; 1.0 = perfectly tight."""
+        if not self.static_shared:
+            return 1.0
+        return len(self.dynamic_shared & self.static_shared) / \
+            len(self.static_shared)
+
+    def __repr__(self):
+        return ("SharingComparison(static=%d, dynamic=%d, missed=%d, "
+                "tightness=%.2f)" % (len(self.static_shared),
+                                     len(self.dynamic_shared),
+                                     len(self.missed), self.tightness))
+
+
+def detect_dynamic_sharing(source, max_steps=200_000_000):
+    """Run the Pthreads program once and return
+    ``(shared_keys, observed_keys)`` — variables touched by >1 thread
+    and all variables touched at all."""
+    unit = parse_program(source) if isinstance(source, str) else source
+    chip = SCCChip(Table61Config())
+    runtime = PthreadRuntime()
+    tracer = AccessTracer(
+        thread_of=lambda interp: runtime._current_tid[-1])
+    interp = Interpreter(unit, chip, 0, Memory(), runtime,
+                         max_steps, tracer=tracer)
+    try:
+        interp.run_main()
+    except ThreadExit:
+        pass
+    runtime.run_pending(interp)
+    return tracer.shared_keys(), tracer.observed_keys()
+
+
+def static_shared_set(source):
+    """Stage 1-3's shared superset, as (function, name) keys."""
+    result = TranslationFramework().analyze(source)
+    return {(info.function, info.name)
+            for info in result.variables if info.is_shared}
+
+
+def compare_static_dynamic(source, max_steps=200_000_000):
+    """Full comparison for one program."""
+    if isinstance(source, str):
+        unit = parse_program(source)
+    else:
+        unit = source
+    static = static_shared_set(unit)
+    # re-parse for the dynamic run: the analysis does not mutate the
+    # tree, but isolation keeps the comparison honest
+    dynamic, observed = detect_dynamic_sharing(source if isinstance(
+        source, str) else unit, max_steps)
+    return SharingComparison(static, dynamic, observed)

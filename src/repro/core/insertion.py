@@ -1,0 +1,87 @@
+"""Code addition passes (paper Appendix B, Algorithms 9-10)."""
+
+from repro.cfront import c_ast
+from repro.ir.passes import PassError, TransformPass
+
+# The translated entry point.  Real RCCE programs name their entry point
+# RCCE_APP; the launcher invokes it on every participating core.
+RCCE_ENTRY = "RCCE_APP"
+
+
+def _find_main(unit):
+    func = unit.find_function(RCCE_ENTRY) or unit.find_function("main")
+    if func is None:
+        raise PassError("program has no main / %s procedure" % RCCE_ENTRY)
+    return func
+
+
+def make_call(name, args, coord=None):
+    """Helper: build ``name(arg, ...)`` as an expression statement."""
+    call = c_ast.FuncCall(c_ast.Id(name, coord), args, coord)
+    return c_ast.ExprStmt(call, coord)
+
+
+class AddRCCEInitCall(TransformPass):
+    """Algorithm 9 — insert ``RCCE_init(&argc, &argv);`` as the first
+    statement of the main procedure."""
+
+    name = "add-rcce-init-call"
+
+    def run(self, context):
+        func = _find_main(context.unit)
+        for stmt in func.body.items:
+            if isinstance(stmt, c_ast.ExprStmt) and \
+                    isinstance(stmt.expr, c_ast.FuncCall) and \
+                    stmt.expr.callee_name == "RCCE_init":
+                return False  # already inserted
+        call = make_call("RCCE_init", [
+            c_ast.UnaryOp("&", c_ast.Id("argc")),
+            c_ast.UnaryOp("&", c_ast.Id("argv")),
+        ])
+        func.body.items.insert(0, call)
+        return True
+
+
+class AddRCCEFinalizeCall(TransformPass):
+    """Algorithm 10 — insert ``RCCE_finalize();`` just before the final
+    return of the main procedure (or at the end when main has no
+    return)."""
+
+    name = "add-rcce-finalize-call"
+
+    def run(self, context):
+        func = _find_main(context.unit)
+        items = func.body.items
+        for stmt in items:
+            if isinstance(stmt, c_ast.ExprStmt) and \
+                    isinstance(stmt.expr, c_ast.FuncCall) and \
+                    stmt.expr.callee_name == "RCCE_finalize":
+                return False
+        call = make_call("RCCE_finalize", [])
+        if items and isinstance(items[-1], c_ast.Return):
+            items.insert(len(items) - 1, call)
+        else:
+            items.append(call)
+        return True
+
+
+class RewriteIncludes(TransformPass):
+    """Swap ``pthread.h`` for ``RCCE.h`` in the include list."""
+
+    name = "rewrite-includes"
+
+    def run(self, context):
+        includes = []
+        swapped = False
+        for header in context.unit.includes:
+            if header == "pthread.h":
+                if "RCCE.h" not in includes:
+                    includes.append("RCCE.h")
+                swapped = True
+            elif header not in includes:
+                includes.append(header)
+        if "RCCE.h" not in includes:
+            includes.append("RCCE.h")
+            swapped = True
+        context.unit.includes = includes
+        return swapped

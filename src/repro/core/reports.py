@@ -1,0 +1,66 @@
+"""Render the paper's analysis tables from a framework run.
+
+``table_4_1`` reproduces Table 4.1 (per-variable information post
+Stage 3) and ``table_4_2`` reproduces Table 4.2 (sharing status after
+each stage) for any analyzed program.
+"""
+
+from repro.core.varinfo import Sharing
+
+
+def _fmt_funcs(functions):
+    if not functions:
+        return "null"
+    return ", ".join(sorted(functions))
+
+
+def table_4_1(result):
+    """Rows of Table 4.1 as dicts, in declaration order."""
+    rows = []
+    for info in result.variables:
+        rows.append({
+            "name": info.name,
+            "type": info.display_type if info.scope_kind != "param"
+            else "n/a",
+            "size": info.element_count if info.scope_kind != "param"
+            else "n/a",
+            "rd": info.read_count,
+            "wr": info.write_count,
+            "use_in": _fmt_funcs(info.use_in),
+            "def_in": _fmt_funcs(info.def_in),
+        })
+    return rows
+
+
+def table_4_2(result):
+    """Rows of Table 4.2: sharing status after Stages 1, 2 and 3."""
+    rows = []
+    for info in result.variables:
+        history = info.sharing_history
+        rows.append({
+            "variable": info.name,
+            "stage1": str(history.get(1, Sharing.NULL)),
+            "stage2": str(history.get(2, Sharing.NULL)),
+            "stage3": str(history.get(3, Sharing.NULL)),
+        })
+    return rows
+
+
+def format_table(rows, columns=None, title=None):
+    """ASCII-render a list of row dicts."""
+    if not rows:
+        return "(empty table)"
+    columns = columns or list(rows[0])
+    widths = {col: max(len(str(col)),
+                       max(len(str(row.get(col, ""))) for row in rows))
+              for col in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(
+            str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Stage 1 — Variable Scope Analysis (paper §4.1).
+
+Extracts, per variable: name, type, size, read count, write count, scope,
+and the functions each variable is used/defined in (Table 4.1).  Globals
+are provisionally marked ``shared = true``; everything else stays ``null``
+until Stage 2 (Table 4.2, column "Stage 1").
+
+Two passes, as in the paper: one constrained to procedure bodies (locals
+and parameters), one over file scope with procedures excluded (globals).
+"""
+
+from repro.cfront import c_ast
+from repro.ir.loops import estimate_trip_count
+from repro.ir.passes import AnalysisPass
+from repro.core.accesses import Access, classify_expr
+from repro.core.varinfo import Sharing, VariableInfo, VariableTable
+
+STAGE = 1
+
+# Names that look like identifiers but are functions or environment
+# constants, never data variables of the program under analysis.
+_ENVIRONMENT_NAMES = {
+    "NULL", "stdout", "stderr", "stdin",
+    "RCCE_COMM_WORLD", "PTHREAD_MUTEX_INITIALIZER",
+}
+
+# Cap on the loop multiplier so one hot loop cannot overflow the
+# frequency weighting (trip estimates are heuristics, not measurements).
+_MAX_WEIGHT = 10 ** 9
+
+
+class ScopeAnalysis(AnalysisPass):
+    """Builds the :class:`VariableTable` fact ``variables``."""
+
+    name = "stage1-variable-scope-analysis"
+    provides = ("variables",)
+
+    def run(self, context):
+        unit = context.unit
+        table = VariableTable()
+        self._collect_globals(unit, table)
+        self._collect_locals(unit, table)
+        self._count_accesses(unit, table)
+        for info in table:
+            if info.scope_kind == "global":
+                info.set_sharing(Sharing.TRUE, STAGE)
+            else:
+                info.record_stage(STAGE)
+        return context.provide("variables", table)
+
+    # -- declaration harvesting -------------------------------------------------
+
+    def _collect_globals(self, unit, table):
+        for decl in unit.global_decls():
+            if decl.is_typedef:
+                continue
+            table.add(VariableInfo(decl.name, decl.ctype, "global",
+                                   None, decl))
+
+    def _collect_locals(self, unit, table):
+        for func in unit.functions():
+            for param in func.params:
+                if param.name:
+                    table.add(VariableInfo(param.name, param.ctype,
+                                           "param", func.name, param))
+            for node in c_ast.walk(func.body):
+                if isinstance(node, c_ast.DeclStmt):
+                    for decl in node.decls:
+                        if not decl.is_typedef:
+                            table.add(VariableInfo(
+                                decl.name, decl.ctype, "local",
+                                func.name, decl))
+
+    # -- access counting ----------------------------------------------------------
+
+    def _count_accesses(self, unit, table):
+        for func in unit.functions():
+            for access in self._function_accesses(func):
+                self._apply(access, table)
+
+    def _function_accesses(self, func):
+        accesses = []
+        self._walk_stmt(func.body, func.name, 1, accesses)
+        return accesses
+
+    def _walk_stmt(self, stmt, function, weight, out):
+        if stmt is None:
+            return
+        if isinstance(stmt, c_ast.Compound):
+            for item in stmt.items:
+                self._walk_stmt(item, function, weight, out)
+            return
+        if isinstance(stmt, c_ast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    # decl-with-init is one runtime write of the local
+                    out.append(Access(decl.name, Access.WRITE, function,
+                                      decl, weight))
+                    classify_expr(decl.init, function, weight, out)
+            return
+        if isinstance(stmt, c_ast.ExprStmt):
+            classify_expr(stmt.expr, function, weight, out)
+            return
+        if isinstance(stmt, c_ast.If):
+            classify_expr(stmt.cond, function, weight, out)
+            self._walk_stmt(stmt.then, function, weight, out)
+            self._walk_stmt(stmt.els, function, weight, out)
+            return
+        if isinstance(stmt, (c_ast.While, c_ast.DoWhile)):
+            trips, _ = estimate_trip_count(stmt)
+            inner = min(weight * max(trips, 1), _MAX_WEIGHT)
+            classify_expr(stmt.cond, function, inner, out)
+            self._walk_stmt(stmt.body, function, inner, out)
+            return
+        if isinstance(stmt, c_ast.For):
+            trips, _ = estimate_trip_count(stmt)
+            inner = min(weight * max(trips, 1), _MAX_WEIGHT)
+            self._walk_stmt(stmt.init, function, weight, out)
+            if stmt.cond is not None:
+                classify_expr(stmt.cond, function, inner, out)
+            if stmt.step is not None:
+                classify_expr(stmt.step, function, inner, out)
+            self._walk_stmt(stmt.body, function, inner, out)
+            return
+        if isinstance(stmt, c_ast.Return):
+            if stmt.expr is not None:
+                classify_expr(stmt.expr, function, weight, out)
+            return
+        if isinstance(stmt, c_ast.Switch):
+            classify_expr(stmt.cond, function, weight, out)
+            for item in stmt.body.items:
+                for inner_stmt in item.stmts:
+                    self._walk_stmt(inner_stmt, function, weight, out)
+                if isinstance(item, c_ast.Case):
+                    pass  # case labels are constants
+            return
+        if isinstance(stmt, c_ast.Label):
+            self._walk_stmt(stmt.stmt, function, weight, out)
+            return
+        # Break / Continue / EmptyStmt / Goto: no data accesses
+
+    def _apply(self, access, table):
+        if access.name in _ENVIRONMENT_NAMES:
+            return
+        info = table.get(access.name, access.function)
+        if info is None:
+            return  # call to an undeclared function, label, etc.
+        if access.kind == Access.READ:
+            info.read_count += 1
+            info.weighted_reads += access.weight
+            info.weighted_reads_by_function[access.function] = \
+                info.weighted_reads_by_function.get(access.function, 0) \
+                + access.weight
+            if access.function:
+                info.use_in.add(access.function)
+        else:
+            info.write_count += 1
+            info.weighted_writes += access.weight
+            info.weighted_writes_by_function[access.function] = \
+                info.weighted_writes_by_function.get(access.function, 0) \
+                + access.weight
+            if access.function:
+                info.def_in.add(access.function)

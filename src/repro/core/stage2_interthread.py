@@ -1,0 +1,152 @@
+"""Stage 2 — Inter-thread Analysis (paper §4.2, Algorithm 1).
+
+Finds the set ``F`` of functions launched through ``pthread_create``,
+classifies each variable as *In Multiple Threads* / *In Single Thread* /
+*Not in Thread*, and resolves every still-``null`` sharing status:
+variables declared inside a thread function (or anywhere local) are
+private — each translated process gets its own copy — so they become
+``shared = false`` (Table 4.2, column "Stage 2").
+"""
+
+from repro.cfront import c_ast
+from repro.cfront.visitor import enclosing, find_calls, is_inside_loop
+from repro.ir.loops import estimate_trip_count
+from repro.ir.passes import AnalysisPass
+from repro.core.varinfo import Sharing, ThreadPresence
+
+STAGE = 2
+
+
+class ThreadLaunch:
+    """One pthread_create call site."""
+
+    __slots__ = ("call", "function_name", "arg", "in_loop", "caller")
+
+    def __init__(self, call, function_name, arg, in_loop, caller):
+        self.call = call
+        self.function_name = function_name
+        self.arg = arg
+        self.in_loop = in_loop
+        self.caller = caller
+
+    def __repr__(self):
+        return "ThreadLaunch(%s%s from %s)" % (
+            self.function_name, " in loop" if self.in_loop else "",
+            self.caller)
+
+
+def thread_function_name(expr):
+    """Extract the launched function's name from pthread_create's third
+    argument (handles ``tf`` and ``&tf``)."""
+    if isinstance(expr, c_ast.Id):
+        return expr.name
+    if isinstance(expr, c_ast.UnaryOp) and expr.op == "&" and \
+            isinstance(expr.operand, c_ast.Id):
+        return expr.operand.name
+    if isinstance(expr, c_ast.Cast):
+        return thread_function_name(expr.expr)
+    return None
+
+
+def find_thread_launches(unit):
+    """All pthread_create call sites in the program."""
+    launches = []
+    for func in unit.functions():
+        for call in find_calls(func.body, "pthread_create"):
+            if len(call.args) < 3:
+                continue
+            name = thread_function_name(call.args[2])
+            arg = call.args[3] if len(call.args) > 3 else None
+            launches.append(ThreadLaunch(call, name, arg,
+                                         is_inside_loop(call), func.name))
+    return launches
+
+
+def launch_multiplicities(launches):
+    """How many threads each thread function is launched as: the sum
+    over its call sites of the enclosing loop's trip count (1 for a
+    standalone pthread_create)."""
+    multipliers = {}
+    for launch in launches:
+        if launch.function_name is None:
+            continue
+        count = 1
+        if launch.in_loop:
+            loop = enclosing(launch.call,
+                             (c_ast.For, c_ast.While, c_ast.DoWhile))
+            trips, _ = estimate_trip_count(loop)
+            count = max(trips, 1)
+        multipliers[launch.function_name] = \
+            multipliers.get(launch.function_name, 0) + count
+    return multipliers
+
+
+def variable_in_thread(unit, info, thread_functions, launches):
+    """Algorithm 1 — how many threads the variable ``info`` is seen in.
+
+    A variable is "in" a thread if it is used or defined inside (or is a
+    parameter / local of) a function executed by a thread.  Multiplicity
+    comes from the launch sites: a launch inside a loop, or the same
+    procedure appearing in more than one pthread_create call, means
+    multiple threads.
+    """
+    appearing_in = set(info.use_in) | set(info.def_in)
+    if info.function is not None:
+        appearing_in.add(info.function)
+    thread_procs = appearing_in & thread_functions
+    if not thread_procs:
+        return ThreadPresence.NOT_IN_THREAD
+    for proc in thread_procs:
+        sites = [l for l in launches if l.function_name == proc]
+        if any(site.in_loop for site in sites):
+            return ThreadPresence.MULTIPLE_THREADS
+        if len(sites) > 1:
+            return ThreadPresence.MULTIPLE_THREADS
+    return ThreadPresence.SINGLE_THREAD
+
+
+class InterThreadAnalysis(AnalysisPass):
+    """Provides facts ``thread_launches`` and ``thread_functions`` and
+    refines every variable's sharing status."""
+
+    name = "stage2-inter-thread-analysis"
+    requires = ("variables",)
+    provides = ("thread_launches", "thread_functions")
+
+    def run(self, context):
+        table = context.require("variables")
+        unit = context.unit
+        c_ast.link_parents(unit)
+        launches = find_thread_launches(unit)
+        thread_functions = {l.function_name for l in launches
+                            if l.function_name}
+        context.provide("thread_launches", launches)
+        context.provide("thread_functions", thread_functions)
+
+        multipliers = launch_multiplicities(launches)
+        for info in table:
+            info.thread_presence = variable_in_thread(
+                unit, info, thread_functions, launches)
+            self._scale_weights(info, multipliers)
+            if info.sharing is Sharing.NULL:
+                # locals and params are per-process copies after
+                # translation: private
+                info.set_sharing(Sharing.FALSE, STAGE)
+            else:
+                info.record_stage(STAGE)
+        return launches
+
+    @staticmethod
+    def _scale_weights(info, multipliers):
+        """The paper's parallelism-aware access estimation (§4.4):
+        accesses made inside a thread function happen once per launched
+        thread, so the frequency estimates Stage 4 partitions on must
+        be scaled by the launch multiplicity."""
+        info.weighted_reads = sum(
+            weight * multipliers.get(function, 1)
+            for function, weight
+            in info.weighted_reads_by_function.items())
+        info.weighted_writes = sum(
+            weight * multipliers.get(function, 1)
+            for function, weight
+            in info.weighted_writes_by_function.items())

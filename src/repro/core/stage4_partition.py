@@ -1,0 +1,181 @@
+"""Stage 4 — Data Partitioning (paper §4.4, Algorithm 3).
+
+Decides, for every shared variable, whether it lives in the on-chip
+shared SRAM (the SCC's MPB) or the off-chip shared DRAM:
+
+* if everything fits on-chip, put everything on-chip (best case);
+* otherwise sort ascending by ``mem_size`` and place greedily while the
+  remaining on-chip capacity allows, spilling the rest off-chip.
+
+The paper notes "further granularity provided by frequency of access";
+we implement that as the documented ``frequency`` policy (ablation bench
+``bench_ablation_partition.py``): order by weighted-accesses-per-byte so
+hot small data wins the SRAM.
+"""
+
+from enum import Enum
+
+from repro.ir.passes import AnalysisPass
+
+
+class MemoryBank(Enum):
+    ON_CHIP = "on-chip"    # MPB SRAM
+    OFF_CHIP = "off-chip"  # shared DRAM
+    SPLIT = "split"        # head in SRAM, tail in DRAM (§4.4)
+
+    def __str__(self):
+        return self.value
+
+
+class Placement:
+    """One shared variable's assignment to a bank."""
+
+    __slots__ = ("info", "bank", "offset", "on_chip_bytes")
+
+    def __init__(self, info, bank, offset=None, on_chip_bytes=None):
+        self.info = info
+        self.bank = bank
+        self.offset = offset
+        if on_chip_bytes is None:
+            on_chip_bytes = (info.mem_size
+                             if bank is MemoryBank.ON_CHIP else 0)
+        self.on_chip_bytes = on_chip_bytes
+
+    def __repr__(self):
+        return "Placement(%s -> %s @ %s)" % (
+            self.info.name, self.bank, self.offset)
+
+
+class PartitionPlan:
+    """The result of Algorithm 3."""
+
+    def __init__(self, capacity, policy):
+        self.capacity = capacity
+        self.policy = policy
+        self.placements = {}     # (function, name) -> Placement
+        self.on_chip_bytes = 0
+        self.off_chip_bytes = 0
+
+    def place(self, info, bank, on_chip_bytes=None):
+        key = (info.function, info.name)
+        offset = None
+        if bank is MemoryBank.ON_CHIP:
+            offset = self.on_chip_bytes
+            self.on_chip_bytes += info.mem_size
+        elif bank is MemoryBank.SPLIT:
+            offset = self.on_chip_bytes
+            on_chip_bytes = min(on_chip_bytes or 0, info.mem_size)
+            self.on_chip_bytes += on_chip_bytes
+            self.off_chip_bytes += info.mem_size - on_chip_bytes
+        else:
+            self.off_chip_bytes += info.mem_size
+        self.placements[key] = Placement(info, bank, offset,
+                                         on_chip_bytes)
+
+    def bank_of(self, name, function=None):
+        placement = self.placements.get((function, name))
+        if placement is None:
+            placement = self.placements.get((None, name))
+        return placement.bank if placement else None
+
+    def on_chip(self):
+        return [p for p in self.placements.values()
+                if p.bank is MemoryBank.ON_CHIP]
+
+    def off_chip(self):
+        return [p for p in self.placements.values()
+                if p.bank is MemoryBank.OFF_CHIP]
+
+    @property
+    def total_shared_bytes(self):
+        return self.on_chip_bytes + self.off_chip_bytes
+
+    @property
+    def fits_entirely_on_chip(self):
+        return not self.off_chip()
+
+    def __repr__(self):
+        return ("PartitionPlan(on=%dB in %d vars, off=%dB in %d vars, "
+                "cap=%dB)" % (self.on_chip_bytes, len(self.on_chip()),
+                              self.off_chip_bytes, len(self.off_chip()),
+                              self.capacity))
+
+
+# a split smaller than this is not worth the indirection (§4.4: "a
+# few rows" of the LU matrix)
+MIN_SPLIT_BYTES = 64
+
+
+def partition_shared_variables(shared, capacity, policy="size",
+                               allow_split=False):
+    """Algorithm 3 over the list of shared :class:`VariableInfo`.
+
+    ``policy`` is ``"size"`` (the paper's ascending-size greedy),
+    ``"frequency"`` (weighted accesses per byte, descending — the
+    paper's suggested refinement), or ``"off-chip-only"`` (the Fig. 6.1
+    baseline configuration that keeps all shared data in DRAM).
+
+    With ``allow_split``, a variable too large for the remaining
+    on-chip space is split: its head takes whatever SRAM is left, its
+    tail goes to DRAM (§4.4: "larger arrays may be allocated entirely
+    in DRAM or split between DRAM and SRAM").
+    """
+    if policy not in ("size", "frequency", "off-chip-only"):
+        raise ValueError("unknown partition policy %r" % policy)
+    plan = PartitionPlan(capacity, policy)
+    shared = list(shared)
+
+    if policy == "off-chip-only":
+        for info in shared:
+            plan.place(info, MemoryBank.OFF_CHIP)
+        return plan
+
+    total_size = sum(info.mem_size for info in shared)
+    if total_size <= capacity:
+        for info in shared:
+            plan.place(info, MemoryBank.ON_CHIP)
+        return plan
+
+    if policy == "size":
+        ordered = sorted(shared, key=lambda v: (v.mem_size, v.name))
+    elif policy == "frequency":
+        ordered = sorted(
+            shared,
+            key=lambda v: (-(v.weighted_access_count /
+                             max(v.mem_size, 1)), v.mem_size, v.name))
+    else:
+        raise ValueError("unknown partition policy %r" % policy)
+
+    remaining = capacity
+    for info in ordered:
+        if info.mem_size <= remaining:
+            plan.place(info, MemoryBank.ON_CHIP)
+            remaining -= info.mem_size
+        elif allow_split and remaining >= MIN_SPLIT_BYTES:
+            plan.place(info, MemoryBank.SPLIT,
+                       on_chip_bytes=remaining)
+            remaining = 0
+        else:
+            plan.place(info, MemoryBank.OFF_CHIP)
+    return plan
+
+
+class DataPartitioning(AnalysisPass):
+    """Stage 4 pass: provides the ``partition_plan`` fact."""
+
+    name = "stage4-data-partitioning"
+    requires = ("variables",)
+    provides = ("partition_plan",)
+
+    def __init__(self, on_chip_capacity, policy="size",
+                 allow_split=False):
+        self.on_chip_capacity = on_chip_capacity
+        self.policy = policy
+        self.allow_split = allow_split
+
+    def run(self, context):
+        table = context.require("variables")
+        plan = partition_shared_variables(
+            table.shared(), self.on_chip_capacity, self.policy,
+            self.allow_split)
+        return context.provide("partition_plan", plan)

@@ -1,0 +1,209 @@
+"""Per-variable records built up by Stages 1-3 (paper Tables 4.1 / 4.2).
+
+Sharing status follows the paper's monotonicity rule: "the sharing status
+may be refined from true to false or false to true once, but it will not
+revert.  Changes from null are always accepted."
+"""
+
+from enum import Enum
+
+from repro.cfront import ctypes
+
+
+class Sharing(Enum):
+    """Tri-state sharing status; NULL is 'not yet determined'."""
+
+    NULL = "null"
+    TRUE = "true"
+    FALSE = "false"
+
+    def __str__(self):
+        return self.value
+
+
+class SharingTransitionError(Exception):
+    """Raised when a stage tries to flip a sharing status twice."""
+
+
+class ThreadPresence(Enum):
+    """Algorithm 1's return values."""
+
+    NOT_IN_THREAD = "Not in Thread"
+    SINGLE_THREAD = "In Single Thread"
+    MULTIPLE_THREADS = "In Multiple Threads"
+
+    def __str__(self):
+        return self.value
+
+
+class VariableInfo:
+    """Everything the framework learns about one variable.
+
+    The fields mirror Table 4.1: Name, Type, Size (element count),
+    Rd, Wr, Use In, Def In — plus the scope, byte size, and the sharing
+    status history (Table 4.2's three columns).
+    """
+
+    def __init__(self, name, ctype, scope_kind, function=None, decl=None):
+        self.name = name
+        self.ctype = ctype
+        self.scope_kind = scope_kind      # 'global' | 'local' | 'param'
+        self.function = function          # declaring function, or None
+        self.decl = decl
+        self.read_count = 0
+        self.write_count = 0
+        self.weighted_reads = 0           # trip-count-weighted estimate
+        self.weighted_writes = 0
+        # per-function weighted counts, so Stage 2 can scale accesses
+        # made inside thread functions by the launch multiplicity
+        # (the paper's parallelism-aware access estimation, §4.4)
+        self.weighted_reads_by_function = {}
+        self.weighted_writes_by_function = {}
+        self.use_in = set()               # functions reading the variable
+        self.def_in = set()               # functions writing the variable
+        self.thread_presence = None       # ThreadPresence, set by Stage 2
+        self._sharing = Sharing.NULL
+        self._flipped = False
+        self.sharing_history = {}         # stage number -> Sharing
+
+    # -- sharing status with the paper's monotonicity rule -------------------
+
+    @property
+    def sharing(self):
+        return self._sharing
+
+    def set_sharing(self, value, stage):
+        """Apply the once-only refinement rule and record history."""
+        if not isinstance(value, Sharing):
+            raise TypeError("sharing must be a Sharing enum value")
+        if value is Sharing.NULL:
+            raise SharingTransitionError(
+                "cannot reset %s back to null" % self.name)
+        if self._sharing is Sharing.NULL:
+            self._sharing = value
+        elif self._sharing is not value:
+            if self._flipped:
+                raise SharingTransitionError(
+                    "sharing status of %s already refined once; "
+                    "it will not revert" % self.name)
+            self._flipped = True
+            self._sharing = value
+        self.sharing_history[stage] = self._sharing
+        return self._sharing
+
+    def record_stage(self, stage):
+        """Snapshot the current status for Table 4.2 without changing it."""
+        self.sharing_history[stage] = self._sharing
+
+    @property
+    def is_shared(self):
+        return self._sharing is Sharing.TRUE
+
+    # -- Table 4.1 columns ------------------------------------------------------
+
+    @property
+    def display_type(self):
+        """Type column: arrays decay to pointers (paper shows int[3] as
+        ``int*``); pthread handles show their typedef name."""
+        if isinstance(self.ctype, ctypes.ArrayType):
+            return ctypes.PointerType(
+                ctypes.strip_arrays(self.ctype)).to_c()
+        return self.ctype.to_c()
+
+    @property
+    def element_count(self):
+        """Size column: number of elements (3 for ``int[3]``, else 1)."""
+        return self.ctype.element_count()
+
+    @property
+    def mem_size(self):
+        """Byte footprint (Algorithm 3's ``mem_size``: Size x Type)."""
+        size = self.ctype.sizeof()
+        if size == 0 and isinstance(self.ctype, ctypes.PointerType):
+            size = ctypes.POINTER_SIZE
+        return size
+
+    @property
+    def access_count(self):
+        return self.read_count + self.write_count
+
+    @property
+    def weighted_access_count(self):
+        return self.weighted_reads + self.weighted_writes
+
+    def row(self):
+        """One Table 4.1 row as a dict."""
+        return {
+            "name": self.name,
+            "type": self.display_type,
+            "size": self.element_count,
+            "rd": self.read_count,
+            "wr": self.write_count,
+            "use_in": sorted(self.use_in) or None,
+            "def_in": sorted(self.def_in) or None,
+        }
+
+    def __repr__(self):
+        return ("VariableInfo(%s: %s, %s, rd=%d, wr=%d, shared=%s)"
+                % (self.name, self.display_type, self.scope_kind,
+                   self.read_count, self.write_count, self._sharing))
+
+
+class VariableTable:
+    """All variables of a program, keyed by (function-or-None, name).
+
+    Globals live under function ``None``; locals and parameters under
+    their declaring function, so shadowing names stay distinct.
+    """
+
+    def __init__(self):
+        self._vars = {}
+
+    def key(self, name, function=None):
+        return (function, name)
+
+    def add(self, info):
+        self._vars[(info.function, info.name)] = info
+        return info
+
+    def get(self, name, function=None):
+        """C scoping lookup: local first, then global."""
+        if function is not None:
+            local = self._vars.get((function, name))
+            if local is not None:
+                return local
+        return self._vars.get((None, name))
+
+    def get_exact(self, name, function=None):
+        return self._vars.get((function, name))
+
+    def __iter__(self):
+        return iter(self._vars.values())
+
+    def __len__(self):
+        return len(self._vars)
+
+    def __contains__(self, key):
+        return key in self._vars
+
+    def globals(self):
+        return [v for v in self._vars.values() if v.scope_kind == "global"]
+
+    def locals(self):
+        return [v for v in self._vars.values() if v.scope_kind != "global"]
+
+    def shared(self):
+        """All variables currently marked shared, in stable name order."""
+        return sorted((v for v in self._vars.values() if v.is_shared),
+                      key=lambda v: (v.function or "", v.name))
+
+    def by_name(self, name):
+        """All variables with ``name`` regardless of scope."""
+        return [v for v in self._vars.values() if v.name == name]
+
+    def sharing_table(self):
+        """Table 4.2: {name: {stage: Sharing}} for every variable."""
+        return {
+            info.name: dict(info.sharing_history)
+            for info in self._vars.values()
+        }

@@ -1,0 +1,33 @@
+"""Pass infrastructure over the C AST: pass manager, CFG, dataflow, loops.
+
+Mirrors the CETUS machinery the paper builds on (§5.3): each framework
+component subclasses :class:`AnalysisPass` or :class:`TransformPass` and a
+:class:`Driver` runs them in series against a shared
+:class:`ProgramContext`.
+"""
+
+from repro.ir.passes import (
+    AnalysisPass,
+    Driver,
+    PassError,
+    ProgramContext,
+    TransformPass,
+)
+from repro.ir.cfg import CFG, BasicBlock, build_cfg
+from repro.ir.dataflow import ForwardDataflow
+from repro.ir.loops import LoopInfo, estimate_trip_count, loop_depth_map
+
+__all__ = [
+    "AnalysisPass",
+    "TransformPass",
+    "Driver",
+    "PassError",
+    "ProgramContext",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "ForwardDataflow",
+    "LoopInfo",
+    "estimate_trip_count",
+    "loop_depth_map",
+]

@@ -1,0 +1,67 @@
+"""Generic forward dataflow fixpoint solver over a CFG.
+
+The points-to stage (paper §4.3: "A dataflow methodology is used ...
+Once a fixed point is reached, the analyzer produces a relationship map")
+instantiates this with a lattice of pointer-relationship maps.
+"""
+
+
+class ForwardDataflow:
+    """Iterative forward solver.
+
+    Subclasses provide:
+
+    * ``initial()``           — lattice bottom for block entry,
+    * ``boundary()``          — value at the function entry,
+    * ``merge(a, b)``         — join of two lattice values,
+    * ``transfer(block, v)``  — flow ``v`` through ``block``'s statements.
+
+    ``solve(cfg)`` returns ``{block_index: (in_value, out_value)}``.
+    """
+
+    MAX_ITERATIONS = 1000
+
+    def initial(self):
+        raise NotImplementedError
+
+    def boundary(self):
+        raise NotImplementedError
+
+    def merge(self, a, b):
+        raise NotImplementedError
+
+    def transfer(self, block, value):
+        raise NotImplementedError
+
+    def equal(self, a, b):
+        return a == b
+
+    def solve(self, cfg):
+        order = cfg.rpo()
+        in_values = {block.index: self.initial() for block in cfg.blocks}
+        out_values = {block.index: self.initial() for block in cfg.blocks}
+        in_values[cfg.entry.index] = self.boundary()
+
+        changed = True
+        iterations = 0
+        while changed:
+            iterations += 1
+            if iterations > self.MAX_ITERATIONS:
+                raise RuntimeError("dataflow failed to converge")
+            changed = False
+            for block in order:
+                if block is cfg.entry:
+                    in_value = self.boundary()
+                else:
+                    in_value = self.initial()
+                    for pred in block.predecessors:
+                        in_value = self.merge(in_value,
+                                              out_values[pred.index])
+                out_value = self.transfer(block, in_value)
+                if not self.equal(out_value, out_values[block.index]) or \
+                        not self.equal(in_value, in_values[block.index]):
+                    changed = True
+                in_values[block.index] = in_value
+                out_values[block.index] = out_value
+        return {index: (in_values[index], out_values[index])
+                for index in in_values}

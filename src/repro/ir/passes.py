@@ -1,0 +1,109 @@
+"""AnalysisPass / TransformPass / Driver — the paper's CETUS pass model.
+
+Each pass operates on a :class:`ProgramContext` that wraps the translation
+unit plus all facts accumulated by earlier passes.  ``TransformPass``
+instances get a consistency check after they run (the paper notes CETUS's
+pass classes "perform some consistency checking to ensure that the IR
+remains in a self-consistent state").
+"""
+
+from repro.cfront import c_ast
+
+
+class PassError(Exception):
+    """A pass precondition or postcondition was violated."""
+
+
+class ProgramContext:
+    """The shared state threaded through a pass pipeline."""
+
+    def __init__(self, unit):
+        self.unit = unit
+        self.facts = {}
+        self.pass_log = []
+
+    def require(self, key):
+        if key not in self.facts:
+            raise PassError("required fact %r not computed; "
+                            "run its producing pass first" % key)
+        return self.facts[key]
+
+    def provide(self, key, value):
+        self.facts[key] = value
+        return value
+
+
+class Pass:
+    """Base pass: subclasses set ``name`` and implement ``run``."""
+
+    name = "pass"
+    requires = ()
+    provides = ()
+
+    def run(self, context):
+        raise NotImplementedError
+
+    def __call__(self, context):
+        for key in self.requires:
+            context.require(key)
+        result = self.run(context)
+        for key in self.provides:
+            if key not in context.facts:
+                raise PassError(
+                    "pass %r promised fact %r but did not provide it"
+                    % (self.name, key))
+        context.pass_log.append(self.name)
+        return result
+
+
+class AnalysisPass(Pass):
+    """A pass that only reads the IR and records facts."""
+
+
+class TransformPass(Pass):
+    """A pass that mutates the IR; re-links parents and re-checks shape."""
+
+    def __call__(self, context):
+        result = super().__call__(context)
+        c_ast.link_parents(context.unit)
+        _check_consistency(context.unit)
+        return result
+
+
+def _check_consistency(unit):
+    """Cheap structural invariants after a transform."""
+    for node in c_ast.walk(unit):
+        for field in node._fields:
+            value = getattr(node, field, None)
+            if isinstance(value, list):
+                for item in value:
+                    if item is None:
+                        raise PassError(
+                            "None left inside list field %r of %s"
+                            % (field, type(node).__name__))
+    for func in unit.functions():
+        if func.body is None or not isinstance(func.body, c_ast.Compound):
+            raise PassError("function %r lost its body" % func.name)
+
+
+class Driver:
+    """Runs a pipeline of passes in series (paper §5.3's Driver class)."""
+
+    def __init__(self, passes=None, verbose=False):
+        self.passes = list(passes or [])
+        self.verbose = verbose
+
+    def add(self, pass_):
+        self.passes.append(pass_)
+        return self
+
+    def run(self, unit_or_context):
+        if isinstance(unit_or_context, ProgramContext):
+            context = unit_or_context
+        else:
+            context = ProgramContext(unit_or_context)
+        for pass_ in self.passes:
+            if self.verbose:
+                print("[driver] running %s" % pass_.name)
+            pass_(context)
+        return context

@@ -1,0 +1,72 @@
+"""Synchronization primitives for the RCCE emulation.
+
+:class:`ClockBarrier` synchronizes the *simulated clocks* as well as
+the Python threads: every participant's cycle counter advances to the
+slowest participant's, plus the modelled barrier cost — exactly how a
+real barrier serializes progress.
+
+:class:`TestAndSetRegisters` models the one test-and-set register each
+SCC core owns (§4.5): acquiring lock ``k`` spins on core ``k``'s
+register, so the cost depends on mesh distance to that tile.
+"""
+
+import threading
+
+
+class ClockBarrier:
+    """A two-phase barrier that aligns simulated cycle counters.
+
+    Phase 1: everyone publishes its clock and waits.  Phase 2 (after
+    the max is computed) keeps fast threads from racing ahead and
+    clobbering the published clocks of the next round.
+    """
+
+    def __init__(self, parties, cost_cycles=0):
+        self.parties = parties
+        self.cost_cycles = cost_cycles
+        self._clocks = {}
+        self._max_holder = [0]
+        self._lock = threading.Lock()
+        self._phase1 = threading.Barrier(parties, action=self._compute_max)
+        self._phase2 = threading.Barrier(parties)
+        self.rounds = 0
+
+    def _compute_max(self):
+        self._max_holder[0] = max(self._clocks.values())
+        self.rounds += 1
+
+    def wait(self, rank, clock):
+        """Synchronize; returns the new (aligned) clock value."""
+        with self._lock:
+            self._clocks[rank] = clock
+        self._phase1.wait()
+        aligned = self._max_holder[0] + self.cost_cycles
+        self._phase2.wait()
+        return aligned
+
+    def abort(self):
+        self._phase1.abort()
+        self._phase2.abort()
+
+
+class TestAndSetRegisters:
+    """One atomic test-and-set register per core."""
+
+    __test__ = False  # not a pytest class, despite the hardware's name
+
+    def __init__(self, num_cores):
+        self.num_cores = num_cores
+        self._locks = [threading.Lock() for _ in range(num_cores)]
+        self.acquisitions = [0] * num_cores
+
+    def acquire(self, register):
+        lock = self._locks[register % self.num_cores]
+        lock.acquire()
+        self.acquisitions[register % self.num_cores] += 1
+
+    def release(self, register):
+        lock = self._locks[register % self.num_cores]
+        try:
+            lock.release()
+        except RuntimeError:
+            pass  # releasing an unheld lock is a no-op on the SCC register

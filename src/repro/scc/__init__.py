@@ -1,0 +1,32 @@
+"""Intel SCC hardware model: mesh, caches, MPB, DRAM, power.
+
+This substrate replaces the physical 48-core SCC the paper evaluates on
+(§5.1).  It is a *cycle-cost* model, not a cycle-accurate RTL model: each
+memory access is priced in core cycles from first-order properties —
+cache hit/miss, mesh hop distance, MPB vs DRAM, and memory-controller
+queueing — which are the properties the paper's Figures 6.1-6.3 turn on.
+"""
+
+from repro.scc.config import SCCConfig, Table61Config, OperatingPoint
+from repro.scc.chip import SCCChip
+from repro.scc.mesh import Mesh
+from repro.scc.cache import Cache
+from repro.scc.dram import MemoryController
+from repro.scc.mpb import MessagePassingBuffer
+from repro.scc.memmap import AddressSpace, Segment, SegmentKind
+from repro.scc.power import PowerModel
+
+__all__ = [
+    "SCCConfig",
+    "Table61Config",
+    "OperatingPoint",
+    "SCCChip",
+    "Mesh",
+    "Cache",
+    "MemoryController",
+    "MessagePassingBuffer",
+    "AddressSpace",
+    "Segment",
+    "SegmentKind",
+    "PowerModel",
+]

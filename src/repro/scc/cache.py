@@ -1,0 +1,83 @@
+"""Set-associative cache model with LRU replacement.
+
+The SCC's caches are *non-coherent*: there is no snooping and no
+directory.  Private pages are cacheable; shared pages bypass the caches
+entirely (paper §1: "the data in the private pages are cache-able, but
+the shared pages are not").  The bypass decision is made by the chip
+model, not here — this class is a plain cache.
+"""
+
+from collections import OrderedDict
+
+
+class CacheStats:
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def __repr__(self):
+        return "CacheStats(hits=%d, misses=%d, rate=%.3f)" % (
+            self.hits, self.misses, self.hit_rate)
+
+
+class Cache:
+    """One level of cache: ``size`` bytes, ``assoc`` ways, LRU."""
+
+    def __init__(self, size, line_size, assoc, name="cache"):
+        if size % (line_size * assoc) != 0:
+            raise ValueError("size must be a multiple of line*assoc")
+        self.size = size
+        self.line_size = line_size
+        self.assoc = assoc
+        self.name = name
+        self.num_sets = size // (line_size * assoc)
+        # sets materialize lazily: {index: OrderedDict tag -> True},
+        # so building a 48-core chip does not allocate ~100k empty sets
+        self.sets = {}
+        self.stats = CacheStats()
+
+    def _locate(self, addr):
+        line = addr // self.line_size
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, addr):
+        """Touch ``addr``; returns True on hit, False on miss (and
+        fills the line, evicting LRU if needed)."""
+        index, tag = self._locate(addr)
+        cache_set = self.sets.get(index)
+        if cache_set is None:
+            cache_set = self.sets[index] = OrderedDict()
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.assoc:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[tag] = True
+        return False
+
+    def contains(self, addr):
+        index, tag = self._locate(addr)
+        return tag in self.sets.get(index, ())
+
+    def invalidate_all(self):
+        self.sets.clear()
+
+    def __repr__(self):
+        return "Cache(%s: %dB, %d-way, %dB lines)" % (
+            self.name, self.size, self.assoc, self.line_size)

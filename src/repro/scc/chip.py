@@ -1,0 +1,157 @@
+"""The assembled chip: cores with private caches, mesh, MPB, DRAM.
+
+``access_cost(core, addr, kind, size)`` is the single timing entry point
+the interpreter uses.  Pricing:
+
+* PRIVATE address — L1/L2 lookup; on miss, mesh hops to the core's
+  memory controller plus DRAM latency (with queueing);
+* SHARED address  — never cached (non-coherent chip): every access pays
+  mesh + controller + queueing, plus the uncached-bypass penalty;
+* MPB address     — SRAM round trip plus mesh hops to the owning tile.
+"""
+
+import threading
+
+from repro.scc.cache import Cache
+from repro.scc.dram import MemoryController
+from repro.scc.lut import LookupTable
+from repro.scc.memmap import AddressSpace, SegmentKind
+from repro.scc.mesh import Mesh
+from repro.scc.mpb import MessagePassingBuffer
+from repro.scc.power import PowerModel
+
+
+class CoreState:
+    """Per-core caches and counters."""
+
+    def __init__(self, core_id, config):
+        self.core_id = core_id
+        self.l1 = Cache(config.l1_size, config.l1_line_size,
+                        config.l1_assoc, "core%d-L1" % core_id)
+        self.l2 = Cache(config.l2_size, config.l2_line_size,
+                        config.l2_assoc, "core%d-L2" % core_id)
+        self.accesses = {kind: 0 for kind in SegmentKind}
+
+    def __repr__(self):
+        return "CoreState(%d, L1 %s)" % (self.core_id, self.l1.stats)
+
+
+class SCCChip:
+    """One simulated SCC."""
+
+    def __init__(self, config):
+        self.config = config
+        self.mesh = Mesh(config)
+        self.address_space = AddressSpace(config)
+        self.mpb = MessagePassingBuffer(config, self.mesh)
+        self.cores = [CoreState(i, config) for i in range(config.num_cores)]
+        self.controllers = [MemoryController(i, config)
+                            for i in range(config.num_memory_controllers)]
+        self.power = PowerModel(config)
+        self.luts = [LookupTable(i, config, self.mesh)
+                     for i in range(config.num_cores)]
+        self._reconfigured_cores = set()
+        self._lock = threading.Lock()
+
+    # -- requester registration (contention model input) -----------------------
+
+    def activate_core(self, core):
+        controller = self.controllers[self.mesh.controller_of(core)]
+        with self._lock:
+            controller.register_requester(core)
+
+    def deactivate_core(self, core):
+        controller = self.controllers[self.mesh.controller_of(core)]
+        with self._lock:
+            controller.unregister_requester(core)
+
+    # -- the timing entry point ---------------------------------------------------
+
+    def configure_window(self, core, addr, shared):
+        """Reprogram the LUT window holding ``addr`` for ``core`` —
+        the paper's page-table mechanism for flipping DRAM between
+        private-cacheable and shared-uncacheable."""
+        lut = self.luts[core]
+        entry = lut.mark_shared(addr) if shared else lut.mark_private(addr)
+        self._reconfigured_cores.add(core)
+        if shared:
+            self.cores[core].l1.invalidate_all()  # stale lines die
+            self.cores[core].l2.invalidate_all()
+        return entry
+
+    def access_cost(self, core, addr, kind="read", size=4):
+        """Cycle cost of one memory access from ``core``."""
+        state = self.cores[core]
+        segment, physical = self.address_space.resolve(addr)
+        if core in self._reconfigured_cores:
+            entry = self.luts[core].lookup(addr)
+            if entry is not None and entry.kind in (
+                    SegmentKind.PRIVATE, SegmentKind.SHARED):
+                segment = entry.kind
+        state.accesses[segment] += 1
+
+        if segment is SegmentKind.PRIVATE:
+            return self._private_cost(core, state, physical)
+        if segment is SegmentKind.SHARED:
+            return self._shared_cost(core, kind)
+        return self._mpb_cost(core, physical, kind, size)
+
+    def _private_cost(self, core, state, addr):
+        if state.l1.access(addr):
+            return self.config.l1_hit_cycles
+        if state.l2.access(addr):
+            return self.config.l2_hit_cycles
+        controller_id = self.mesh.controller_of(core)
+        hops = self.mesh.hops_to_controller(core, controller_id)
+        return self.controllers[controller_id].access_cycles("read", hops)
+
+    def _shared_cost(self, core, kind):
+        controller_id = self.mesh.controller_of(core)
+        hops = self.mesh.hops_to_controller(core, controller_id)
+        if self.mesh.record_traffic:
+            self.mesh.record_route(
+                self.mesh.coords_of(core),
+                self.mesh.controller_coords(controller_id))
+        cost = self.controllers[controller_id].access_cycles(kind, hops)
+        return cost + self.config.uncached_shared_penalty
+
+    def _mpb_cost(self, core, addr, kind, size):
+        # On the real SCC, MPB data is L1-cacheable under the special
+        # MPBT tag (software invalidates when needed); reads mostly hit
+        # L1, which is the bulk of the on-chip win in Figure 6.2.
+        state = self.cores[core]
+        if kind == "read" and state.l1.access(addr):
+            return self.config.l1_hit_cycles
+        if kind == "write":
+            state.l1.access(addr)  # write-through: line present after
+        offset = self.address_space.mpb_offset(addr)
+        if self.mesh.record_traffic:
+            owner = self.mpb.owner_of_offset(offset)
+            self.mesh.record_route(self.mesh.coords_of(core),
+                                   self.mesh.coords_of(owner))
+        return self.mpb.access_cycles(core, offset, kind, size)
+
+    # -- synchronization costs -------------------------------------------------------
+
+    def barrier_cost(self, num_cores):
+        """Cycle cost of an RCCE barrier over ``num_cores`` UEs."""
+        return (self.config.barrier_base_cycles
+                + num_cores * self.config.barrier_per_core_cycles)
+
+    def lock_cost(self, core, owner_core):
+        """Test-and-set register access on ``owner_core``'s tile."""
+        hops = self.mesh.hops(core, owner_core)
+        return (self.config.mpb_base_cycles
+                + hops * self.config.mesh_cycles_per_hop)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def cache_stats(self, core):
+        state = self.cores[core]
+        return {"l1": state.l1.stats, "l2": state.l2.stats}
+
+    def controller_stats(self):
+        return {c.index: c.stats for c in self.controllers}
+
+    def __repr__(self):
+        return "SCCChip(%r)" % (self.config,)

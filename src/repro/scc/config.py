@@ -1,0 +1,142 @@
+"""SCC configuration: geometry, frequencies, latencies, power points.
+
+Defaults reproduce Table 6.1 of the paper (800 MHz cores, 1600 MHz mesh,
+1066 MHz DDR3) on the 48-core, 6x4-tile geometry of §5.1 / Figure 5.1.
+Latency constants are first-order numbers from the SCC programmer's view
+(Mattson et al. [19], van der Wijngaart et al. [29]): L1 hits are
+single-cycle, L2 hits tens of cycles, MPB accesses cost a small constant
+plus 2 mesh cycles per hop each way, and DRAM costs the controller
+round-trip plus queueing.
+"""
+
+
+class OperatingPoint:
+    """One voltage/frequency/power point from §5.1."""
+
+    __slots__ = ("voltage", "freq_mhz", "power_watts")
+
+    def __init__(self, voltage, freq_mhz, power_watts):
+        self.voltage = voltage
+        self.freq_mhz = freq_mhz
+        self.power_watts = power_watts
+
+    def __repr__(self):
+        return "OperatingPoint(%.2fV, %dMHz, %dW)" % (
+            self.voltage, self.freq_mhz, self.power_watts)
+
+
+# §5.1: "operating ranges of 0.7 V and 125 MHz (25 W at 50C) up to
+# 1.14 V and 1 GHz (125 W at 50C)"
+MIN_OPERATING_POINT = OperatingPoint(0.70, 125, 25)
+MAX_OPERATING_POINT = OperatingPoint(1.14, 1000, 125)
+
+
+class SCCConfig:
+    """Complete chip configuration; every constant is sweepable."""
+
+    def __init__(
+        self,
+        num_cores=48,
+        mesh_columns=6,
+        mesh_rows=4,
+        cores_per_tile=2,
+        core_freq_mhz=800,
+        mesh_freq_mhz=1600,
+        dram_freq_mhz=1066,
+        # caches (per core): P54C 16 KB L1 (8I+8D), 256 KB unified L2
+        l1_size=8 * 1024,
+        l1_line_size=32,
+        l1_assoc=2,
+        l2_size=256 * 1024,
+        l2_line_size=32,
+        l2_assoc=4,
+        # on-die shared SRAM
+        mpb_bytes_per_core=8 * 1024,
+        # off-chip memory controllers
+        num_memory_controllers=4,
+        max_dram_gb=64,
+        # latencies in CORE cycles unless stated otherwise
+        l1_hit_cycles=1,
+        l2_hit_cycles=18,
+        dram_base_cycles=46,          # controller + DDR3 access
+        dram_queue_cycles=8,          # added per concurrent requester
+        mpb_base_cycles=15,           # local MPB round trip
+        mesh_cycles_per_hop=4,        # 2 mesh cycles/hop at 2x core clock
+        uncached_shared_penalty=8,    # bypassing L2 on shared pages
+        context_switch_cycles=4000,   # Linux thread switch on a P54C core
+        scheduler_quantum_cycles=800 * 1000 * 10,  # ~10ms at 800 MHz
+        barrier_base_cycles=400,      # RCCE barrier fixed cost
+        barrier_per_core_cycles=60,   # flag polling per participant
+    ):
+        if num_cores > mesh_columns * mesh_rows * cores_per_tile:
+            raise ValueError("core count exceeds mesh capacity")
+        if num_memory_controllers < 1:
+            raise ValueError("need at least one memory controller")
+        self.num_cores = num_cores
+        self.mesh_columns = mesh_columns
+        self.mesh_rows = mesh_rows
+        self.cores_per_tile = cores_per_tile
+        self.core_freq_mhz = core_freq_mhz
+        self.mesh_freq_mhz = mesh_freq_mhz
+        self.dram_freq_mhz = dram_freq_mhz
+        self.l1_size = l1_size
+        self.l1_line_size = l1_line_size
+        self.l1_assoc = l1_assoc
+        self.l2_size = l2_size
+        self.l2_line_size = l2_line_size
+        self.l2_assoc = l2_assoc
+        self.mpb_bytes_per_core = mpb_bytes_per_core
+        self.num_memory_controllers = num_memory_controllers
+        self.max_dram_gb = max_dram_gb
+        self.l1_hit_cycles = l1_hit_cycles
+        self.l2_hit_cycles = l2_hit_cycles
+        self.dram_base_cycles = dram_base_cycles
+        self.dram_queue_cycles = dram_queue_cycles
+        self.mpb_base_cycles = mpb_base_cycles
+        self.mesh_cycles_per_hop = mesh_cycles_per_hop
+        self.uncached_shared_penalty = uncached_shared_penalty
+        self.context_switch_cycles = context_switch_cycles
+        self.scheduler_quantum_cycles = scheduler_quantum_cycles
+        self.barrier_base_cycles = barrier_base_cycles
+        self.barrier_per_core_cycles = barrier_per_core_cycles
+
+    @property
+    def num_tiles(self):
+        return self.mesh_columns * self.mesh_rows
+
+    @property
+    def mpb_total_bytes(self):
+        return self.mpb_bytes_per_core * self.num_cores
+
+    def seconds_from_cycles(self, cycles):
+        return cycles / (self.core_freq_mhz * 1e6)
+
+    def table_6_1(self, execution_units=32):
+        """Rows of the paper's Table 6.1 for this configuration."""
+        return [
+            {"parameter": "Core Frequency",
+             "rcce": "%d MHz" % self.core_freq_mhz,
+             "pthreads": "%d MHz" % self.core_freq_mhz},
+            {"parameter": "Communication Network",
+             "rcce": "%d MHz" % self.mesh_freq_mhz,
+             "pthreads": "%d MHz" % self.mesh_freq_mhz},
+            {"parameter": "Off-chip Memory",
+             "rcce": "%d MHz" % self.dram_freq_mhz,
+             "pthreads": "%d MHz" % self.dram_freq_mhz},
+            {"parameter": "Execution Units",
+             "rcce": "%d cores" % execution_units,
+             "pthreads": "%d threads" % execution_units},
+        ]
+
+    def __repr__(self):
+        return ("SCCConfig(%d cores, %dx%d mesh, core %d MHz, "
+                "mesh %d MHz, DDR3 %d MHz)" % (
+                    self.num_cores, self.mesh_columns, self.mesh_rows,
+                    self.core_freq_mhz, self.mesh_freq_mhz,
+                    self.dram_freq_mhz))
+
+
+def Table61Config():
+    """The exact experimental configuration of Table 6.1."""
+    return SCCConfig(core_freq_mhz=800, mesh_freq_mhz=1600,
+                     dram_freq_mhz=1066)

@@ -1,0 +1,70 @@
+"""The on-die Message Passing Buffer: 8 KB of SRAM per core, 384 KB
+total, addressable by every core over the mesh (paper §5.1).
+
+An MPB access costs the small SRAM round-trip plus mesh hops from the
+requesting core to the tile that owns the target MPB segment — so
+"the locality for core-to-MPB is much closer than that of core-to-DRAM"
+(paper §6), and bulk transfers amortize the fixed cost.
+"""
+
+
+class MPBStats:
+    __slots__ = ("reads", "writes", "bytes_moved")
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+        self.bytes_moved = 0
+
+    def __repr__(self):
+        return "MPBStats(r=%d, w=%d, bytes=%d)" % (
+            self.reads, self.writes, self.bytes_moved)
+
+
+class MessagePassingBuffer:
+    """The chip-wide MPB, divided into per-core segments."""
+
+    def __init__(self, config, mesh):
+        self.config = config
+        self.mesh = mesh
+        self.stats = MPBStats()
+
+    @property
+    def segment_bytes(self):
+        return self.config.mpb_bytes_per_core
+
+    @property
+    def total_bytes(self):
+        return self.config.mpb_total_bytes
+
+    def owner_of_offset(self, offset):
+        """Which core's segment a chip-wide MPB offset falls in."""
+        if not 0 <= offset < self.total_bytes:
+            raise ValueError("MPB offset %r out of range" % offset)
+        return offset // self.segment_bytes
+
+    def access_cycles(self, requester, offset, kind, size=4):
+        """Cycle cost for ``requester`` touching the MPB at ``offset``."""
+        owner = self.owner_of_offset(offset)
+        hops = self.mesh.hops(requester, owner)
+        cost = (self.config.mpb_base_cycles
+                + hops * self.config.mesh_cycles_per_hop)
+        if kind == "read":
+            self.stats.reads += 1
+        else:
+            self.stats.writes += 1
+        self.stats.bytes_moved += size
+        return cost
+
+    def bulk_transfer_cycles(self, requester, offset, nbytes):
+        """Bulk copy cost: one fixed round trip plus pipelined words
+        (Figure 6.2's 'transfers to and from the MPB may be done in
+        bulk copy ... further improving performance')."""
+        owner = self.owner_of_offset(offset)
+        hops = self.mesh.hops(requester, owner)
+        words = max((nbytes + 3) // 4, 1)
+        cost = (self.config.mpb_base_cycles
+                + hops * self.config.mesh_cycles_per_hop
+                + words)  # one cycle per pipelined word
+        self.stats.bytes_moved += nbytes
+        return cost

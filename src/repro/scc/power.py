@@ -1,0 +1,88 @@
+"""First-order power model for the SCC's voltage/frequency domains.
+
+§5.1 gives the envelope: 0.7 V / 125 MHz at 25 W up to 1.14 V / 1 GHz
+at 125 W (both at 50°C).  Dynamic power scales with V²·f; the residual
+at the minimum point is treated as static/uncore power.  Frequencies
+may be set chip-wide, per power domain, or per call — matching the
+three mechanisms the paper lists.
+"""
+
+from repro.scc.config import MAX_OPERATING_POINT, MIN_OPERATING_POINT
+
+
+class PowerDomain:
+    """A group of tiles sharing one voltage/frequency setting."""
+
+    def __init__(self, index, tiles, voltage, freq_mhz):
+        self.index = index
+        self.tiles = list(tiles)
+        self.voltage = voltage
+        self.freq_mhz = freq_mhz
+
+    def __repr__(self):
+        return "PowerDomain(%d: %d tiles @ %.2fV/%dMHz)" % (
+            self.index, len(self.tiles), self.voltage, self.freq_mhz)
+
+
+class PowerModel:
+    """Chip power as a function of per-domain V/f settings."""
+
+    # SCC groups tiles into 6 voltage domains (2x3 tiles each)
+    NUM_DOMAINS = 6
+
+    def __init__(self, config):
+        self.config = config
+        tiles_per_domain = max(config.num_tiles // self.NUM_DOMAINS, 1)
+        self.domains = []
+        for index in range(self.NUM_DOMAINS):
+            start = index * tiles_per_domain
+            tiles = list(range(start,
+                               min(start + tiles_per_domain,
+                                   config.num_tiles)))
+            self.domains.append(PowerDomain(
+                index, tiles, MAX_OPERATING_POINT.voltage,
+                config.core_freq_mhz))
+        self._calibrate()
+
+    def _calibrate(self):
+        """Solve P = static + k*V^2*f against the two §5.1 endpoints."""
+        low, high = MIN_OPERATING_POINT, MAX_OPERATING_POINT
+        low_activity = low.voltage ** 2 * low.freq_mhz
+        high_activity = high.voltage ** 2 * high.freq_mhz
+        self._k = ((high.power_watts - low.power_watts)
+                   / (high_activity - low_activity))
+        self._static_watts = low.power_watts - self._k * low_activity
+
+    def set_chip_frequency(self, freq_mhz, voltage=None):
+        """Mechanism 1: set every domain at once."""
+        for domain in self.domains:
+            domain.freq_mhz = freq_mhz
+            if voltage is not None:
+                domain.voltage = voltage
+
+    def set_domain_frequency(self, index, freq_mhz, voltage=None):
+        """Mechanism 2: set one power domain."""
+        domain = self.domains[index]
+        domain.freq_mhz = freq_mhz
+        if voltage is not None:
+            domain.voltage = voltage
+
+    def domain_of_tile(self, tile):
+        for domain in self.domains:
+            if tile in domain.tiles:
+                return domain
+        raise ValueError("tile %r not in any domain" % tile)
+
+    def chip_power_watts(self):
+        """Total chip power under the current settings."""
+        total = self._static_watts
+        tiles_total = max(self.config.num_tiles, 1)
+        for domain in self.domains:
+            share = len(domain.tiles) / tiles_total
+            total += (self._k * domain.voltage ** 2
+                      * domain.freq_mhz * share)
+        return total
+
+    def operating_point_power(self, voltage, freq_mhz):
+        """Power if the whole chip ran at (voltage, freq)."""
+        return self._static_watts + self._k * voltage ** 2 * freq_mhz

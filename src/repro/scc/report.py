@@ -1,0 +1,101 @@
+"""Chip statistics reporting.
+
+Aggregates the counters every subsystem keeps (cache hit rates, memory
+controller traffic and occupancy, MPB traffic, per-segment access mix,
+power draw) into one structured report — the simulator's answer to the
+performance-counter infrastructure the related work (Bellosa &
+Steckermeier [3], Weissman [31]) builds on.
+"""
+
+from repro.scc.memmap import SegmentKind
+
+
+def chip_report(chip, active_cores=None):
+    """A nested dict of every counter worth looking at."""
+    cores = list(active_cores) if active_cores is not None \
+        else list(range(chip.config.num_cores))
+    report = {
+        "config": {
+            "cores": chip.config.num_cores,
+            "core_freq_mhz": chip.config.core_freq_mhz,
+            "mesh_freq_mhz": chip.config.mesh_freq_mhz,
+            "dram_freq_mhz": chip.config.dram_freq_mhz,
+        },
+        "cores": {},
+        "controllers": {},
+        "mpb": {
+            "reads": chip.mpb.stats.reads,
+            "writes": chip.mpb.stats.writes,
+            "bytes_moved": chip.mpb.stats.bytes_moved,
+        },
+        "power_watts": chip.power.chip_power_watts(),
+    }
+    for core in cores:
+        state = chip.cores[core]
+        if not any(state.accesses.values()):
+            continue
+        report["cores"][core] = {
+            "l1_hit_rate": state.l1.stats.hit_rate,
+            "l1_accesses": state.l1.stats.accesses,
+            "l2_hit_rate": state.l2.stats.hit_rate,
+            "l2_accesses": state.l2.stats.accesses,
+            "accesses": {str(kind): count
+                         for kind, count in state.accesses.items()
+                         if count},
+        }
+    for controller in chip.controllers:
+        if controller.stats.accesses == 0:
+            continue
+        report["controllers"][controller.index] = {
+            "reads": controller.stats.reads,
+            "writes": controller.stats.writes,
+            "busy_cycles": controller.stats.busy_cycles,
+            "active_requesters": len(controller.active_requesters),
+        }
+    return report
+
+
+def render_report(report):
+    """Human-readable rendering of :func:`chip_report`."""
+    lines = []
+    config = report["config"]
+    lines.append("chip: %d cores @ %d MHz (mesh %d, DDR3 %d)"
+                 % (config["cores"], config["core_freq_mhz"],
+                    config["mesh_freq_mhz"], config["dram_freq_mhz"]))
+    lines.append("power: %.1f W" % report["power_watts"])
+    if report["cores"]:
+        lines.append("cores:")
+        for core, stats in sorted(report["cores"].items()):
+            mix = ", ".join("%s=%d" % (kind, count)
+                            for kind, count
+                            in sorted(stats["accesses"].items()))
+            lines.append("  core %2d: L1 %5.1f%% of %-8d L2 %5.1f%% "
+                         "of %-8d [%s]"
+                         % (core, 100 * stats["l1_hit_rate"],
+                            stats["l1_accesses"],
+                            100 * stats["l2_hit_rate"],
+                            stats["l2_accesses"], mix))
+    if report["controllers"]:
+        lines.append("memory controllers:")
+        for index, stats in sorted(report["controllers"].items()):
+            lines.append("  MC%d: %d reads, %d writes, %d busy cycles, "
+                         "%d active requesters"
+                         % (index, stats["reads"], stats["writes"],
+                            stats["busy_cycles"],
+                            stats["active_requesters"]))
+    mpb = report["mpb"]
+    if mpb["reads"] or mpb["writes"]:
+        lines.append("mpb: %d reads, %d writes, %d bytes"
+                     % (mpb["reads"], mpb["writes"],
+                        mpb["bytes_moved"]))
+    return "\n".join(lines)
+
+
+def segment_mix(chip, core):
+    """Fraction of the core's accesses hitting each segment kind."""
+    state = chip.cores[core]
+    total = sum(state.accesses.values())
+    if total == 0:
+        return {kind: 0.0 for kind in SegmentKind}
+    return {kind: count / total
+            for kind, count in state.accesses.items()}

@@ -1,0 +1,30 @@
+"""Execution substrate: a C AST interpreter with cycle accounting.
+
+Programs (both the original Pthreads sources and the translated RCCE
+sources) run on the simulated SCC: every memory access is priced by
+:class:`repro.scc.SCCChip`, every arithmetic op by a P54C-flavoured cost
+table, so the *relative* runtimes of the paper's configurations emerge
+from first principles rather than being hard-coded.
+"""
+
+from repro.sim.values import Pointer, FunctionRef
+from repro.sim.machine import Memory, StackAllocator
+from repro.sim.interpreter import Interpreter, InterpreterError, OP_COSTS
+from repro.sim.runner import (
+    RunResult,
+    run_pthread_single_core,
+    run_rcce,
+)
+
+__all__ = [
+    "Pointer",
+    "FunctionRef",
+    "Memory",
+    "StackAllocator",
+    "Interpreter",
+    "InterpreterError",
+    "OP_COSTS",
+    "RunResult",
+    "run_pthread_single_core",
+    "run_rcce",
+]

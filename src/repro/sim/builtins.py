@@ -1,0 +1,236 @@
+"""libc subset available to simulated programs.
+
+Builtins receive ``(interp, arg_nodes)`` and evaluate their own
+arguments, which lets printf handle varargs.  Costs are charged in core
+cycles: math library calls use their P54C-ish latencies, I/O charges a
+flat cost (the paper's benchmarks only print results at the end).
+"""
+
+import math
+
+from repro.sim.values import NULL, Pointer
+
+PRINTF_COST = 400
+MATH_CALL_COST = 60
+ALLOC_COST = 120
+
+
+def _eval_args(interp, arg_nodes):
+    return [interp.eval_expr(node) for node in arg_nodes]
+
+
+def _format_printf(interp, fmt, args):
+    """A small %-formatter covering %d %i %u %ld %lu %f %lf %g %e %c %s
+    %x %p and %%."""
+    out = []
+    arg_iter = iter(args)
+    index = 0
+    while index < len(fmt):
+        ch = fmt[index]
+        if ch != "%":
+            out.append(ch)
+            index += 1
+            continue
+        index += 1
+        if index < len(fmt) and fmt[index] == "%":
+            out.append("%")
+            index += 1
+            continue
+        spec = "%"
+        while index < len(fmt) and fmt[index] in "-+ #0123456789.*lhz":
+            spec += fmt[index]
+            index += 1
+        if index >= len(fmt):
+            out.append(spec)
+            break
+        conv = fmt[index]
+        index += 1
+        spec_clean = spec.replace("l", "").replace("h", "") \
+            .replace("z", "")
+        try:
+            value = next(arg_iter)
+        except StopIteration:
+            out.append(spec + conv)
+            continue
+        if isinstance(value, Pointer):
+            value = value.addr if conv != "s" else "<ptr>"
+        if conv in "di":
+            out.append((spec_clean + "d") % int(value))
+        elif conv == "u":
+            out.append((spec_clean + "d") % (int(value) & 0xFFFFFFFF))
+        elif conv in "feEgG":
+            out.append((spec_clean + conv) % float(value))
+        elif conv == "c":
+            out.append(chr(int(value)) if isinstance(value, (int, float))
+                       else str(value))
+        elif conv == "s":
+            out.append(str(value))
+        elif conv in "xX":
+            out.append((spec_clean + conv) % int(value))
+        elif conv == "p":
+            out.append("0x%x" % int(value))
+        else:
+            out.append(spec + conv)
+    return "".join(out)
+
+
+def _printf(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp.charge(PRINTF_COST)
+    if not args:
+        return 0
+    fmt = args[0]
+    if not isinstance(fmt, str):
+        return 0
+    text = _format_printf(interp, fmt, args[1:])
+    interp.write_output(text)
+    return len(text)
+
+
+def _fprintf(interp, arg_nodes):
+    # ignore the stream argument
+    return _printf(interp, arg_nodes[1:]) if arg_nodes else 0
+
+
+def _sprintf(interp, arg_nodes):
+    # writing into a char buffer is not modelled; just charge
+    interp.charge(PRINTF_COST)
+    _eval_args(interp, arg_nodes)
+    return 0
+
+
+def _math1(fn):
+    def builtin(interp, arg_nodes):
+        args = _eval_args(interp, arg_nodes)
+        interp.charge(MATH_CALL_COST)
+        return fn(float(args[0]))
+    return builtin
+
+
+def _math2(fn):
+    def builtin(interp, arg_nodes):
+        args = _eval_args(interp, arg_nodes)
+        interp.charge(MATH_CALL_COST)
+        return fn(float(args[0]), float(args[1]))
+    return builtin
+
+
+def _malloc(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp.charge(ALLOC_COST)
+    size = max(int(args[0]), 4)
+    segment = interp.chip.address_space.alloc_private(
+        interp.core_id, size, "malloc")
+    return Pointer(segment.base, 4, None)
+
+
+def _calloc(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp.charge(ALLOC_COST)
+    count = max(int(args[0]), 1)
+    size = max(int(args[1]), 1) if len(args) > 1 else 4
+    segment = interp.chip.address_space.alloc_private(
+        interp.core_id, count * size, "calloc")
+    interp.memory.memset(segment.base, 0, count, max(size, 1))
+    return Pointer(segment.base, max(size, 1), None)
+
+
+def _free(interp, arg_nodes):
+    _eval_args(interp, arg_nodes)
+    interp.charge(ALLOC_COST // 4)
+    return None
+
+
+def _memset(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    pointer, value, nbytes = args[0], int(args[1]), int(args[2])
+    if not isinstance(pointer, Pointer):
+        return NULL
+    count = max(nbytes // pointer.stride, 1)
+    interp.charge(count)  # one cycle per word, bulk
+    interp.memory.memset(pointer.addr, value, count, pointer.stride)
+    return pointer
+
+
+def _memcpy(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    dst, src, nbytes = args[0], args[1], int(args[2])
+    if not isinstance(dst, Pointer) or not isinstance(src, Pointer):
+        return NULL
+    count = max(nbytes // dst.stride, 1)
+    interp.charge(count)
+    interp.memory.memcpy(dst.addr, src.addr, count, dst.stride)
+    return dst
+
+
+def _abs(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp.charge_op("int_alu")
+    return abs(int(args[0]))
+
+
+def _rand(interp, arg_nodes):
+    _eval_args(interp, arg_nodes)
+    interp.charge(20)
+    return interp.rand()
+
+
+def _srand(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp._rand_state = int(args[0]) or 1
+    return None
+
+
+def _exit(interp, arg_nodes):
+    from repro.sim.interpreter import ThreadExit
+    args = _eval_args(interp, arg_nodes)
+    raise ThreadExit(args[0] if args else 0)
+
+
+def _atoi(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp.charge(30)
+    try:
+        return int(str(args[0]).strip())
+    except ValueError:
+        return 0
+
+
+def _puts(interp, arg_nodes):
+    args = _eval_args(interp, arg_nodes)
+    interp.charge(PRINTF_COST)
+    if args and isinstance(args[0], str):
+        interp.write_output(args[0] + "\n")
+    return 0
+
+
+def default_builtins():
+    """The builtin registry shared by all runtimes."""
+    return {
+        "printf": _printf,
+        "fprintf": _fprintf,
+        "sprintf": _sprintf,
+        "puts": _puts,
+        "sqrt": _math1(math.sqrt),
+        "fabs": _math1(abs),
+        "sin": _math1(math.sin),
+        "cos": _math1(math.cos),
+        "tan": _math1(math.tan),
+        "exp": _math1(math.exp),
+        "log": _math1(math.log),
+        "floor": _math1(math.floor),
+        "ceil": _math1(math.ceil),
+        "pow": _math2(math.pow),
+        "fmod": _math2(math.fmod),
+        "atan2": _math2(math.atan2),
+        "abs": _abs,
+        "malloc": _malloc,
+        "calloc": _calloc,
+        "free": _free,
+        "memset": _memset,
+        "memcpy": _memcpy,
+        "rand": _rand,
+        "srand": _srand,
+        "exit": _exit,
+        "atoi": _atoi,
+    }

@@ -1,0 +1,161 @@
+"""Pthreads runtime for the single-core baseline.
+
+The paper's baseline runs each 32-thread Pthreads benchmark on ONE SCC
+core, where the threads compete for processor time (§6: "In each
+program 32 threads compete for processor time which greatly reduces the
+efficiency of each given thread").  On a single core, time-sliced
+threads perform their work *serially* plus scheduling overhead — so the
+runtime executes each thread to completion at its join point, accruing
+all cycles to the one core, and adds quantum-based context-switch
+overhead at the end (:meth:`scheduling_overhead_cycles`).
+
+Mutexes are uncontended under serial execution: lock/unlock charge
+their syscall-ish cost, semantics are preserved trivially.
+"""
+
+from repro.sim.interpreter import ThreadExit
+from repro.sim.values import FunctionRef, Pointer
+
+THREAD_CREATE_COST = 6000   # clone + setup on a P54C-class core
+THREAD_JOIN_COST = 2000
+MUTEX_OP_COST = 60
+
+
+class ThreadRecord:
+    __slots__ = ("tid", "func_name", "arg", "finished", "cycles",
+                 "retval")
+
+    def __init__(self, tid, func_name, arg):
+        self.tid = tid
+        self.func_name = func_name
+        self.arg = arg
+        self.finished = False
+        self.cycles = 0
+        self.retval = None
+
+
+class PthreadRuntime:
+    """pthread_* builtins for one single-core process."""
+
+    def __init__(self):
+        self.threads = {}
+        self.order = []
+        self._next_tid = 1000
+        self._current_tid = [0]  # stack; 0 = main thread
+
+    # -- builtin registry ---------------------------------------------------
+
+    def builtins(self):
+        return {
+            "pthread_create": self._create,
+            "pthread_join": self._join,
+            "pthread_exit": self._exit,
+            "pthread_self": self._self,
+            "pthread_mutex_init": self._mutex_op,
+            "pthread_mutex_destroy": self._mutex_op,
+            "pthread_mutex_lock": self._mutex_op,
+            "pthread_mutex_unlock": self._mutex_op,
+            "pthread_mutex_trylock": self._mutex_op,
+            "pthread_attr_init": self._noop,
+            "pthread_attr_destroy": self._noop,
+            "pthread_detach": self._noop,
+            "pthread_yield": self._noop,
+        }
+
+    # -- pthread API -----------------------------------------------------------
+
+    def _create(self, interp, arg_nodes):
+        if len(arg_nodes) < 3:
+            return 22  # EINVAL
+        tid_target = interp.eval_expr(arg_nodes[0])
+        if len(arg_nodes) > 1:
+            interp.eval_expr(arg_nodes[1])  # attributes, ignored
+        func_value = interp.eval_expr(arg_nodes[2])
+        arg_value = (interp.eval_expr(arg_nodes[3])
+                     if len(arg_nodes) > 3 else None)
+
+        func_name = self._function_name(func_value)
+        if func_name is None:
+            return 22
+        tid = self._next_tid
+        self._next_tid += 1
+        record = ThreadRecord(tid, func_name, arg_value)
+        self.threads[tid] = record
+        self.order.append(record)
+        if isinstance(tid_target, Pointer) and tid_target.addr:
+            interp.store(tid_target.addr, tid)
+        interp.charge(THREAD_CREATE_COST)
+        return 0
+
+    @staticmethod
+    def _function_name(value):
+        if isinstance(value, FunctionRef):
+            return value.name
+        return None
+
+    def _join(self, interp, arg_nodes):
+        if not arg_nodes:
+            return 22
+        tid = interp.eval_expr(arg_nodes[0])
+        for node in arg_nodes[1:]:
+            interp.eval_expr(node)
+        record = self.threads.get(int(tid) if not isinstance(
+            tid, Pointer) else tid.addr)
+        interp.charge(THREAD_JOIN_COST)
+        if record is None:
+            return 3  # ESRCH
+        self._run_thread(interp, record)
+        return 0
+
+    def _run_thread(self, interp, record):
+        if record.finished:
+            return
+        record.finished = True
+        start = interp.cycles
+        self._current_tid.append(record.tid)
+        try:
+            record.retval = interp.call_function(
+                record.func_name, [record.arg])
+        except ThreadExit as texit:
+            record.retval = texit.value
+        finally:
+            self._current_tid.pop()
+            record.cycles = interp.cycles - start
+
+    def run_pending(self, interp):
+        """Execute any threads that were created but never joined."""
+        for record in self.order:
+            self._run_thread(interp, record)
+
+    def _exit(self, interp, arg_nodes):
+        value = interp.eval_expr(arg_nodes[0]) if arg_nodes else None
+        if len(self._current_tid) > 1:
+            raise ThreadExit(value)
+        # pthread_exit from main: let remaining threads run, then stop
+        self.run_pending(interp)
+        raise ThreadExit(value)
+
+    def _self(self, interp, arg_nodes):
+        return self._current_tid[-1]
+
+    def _mutex_op(self, interp, arg_nodes):
+        for node in arg_nodes:
+            interp.eval_expr(node)
+        interp.charge(MUTEX_OP_COST)
+        return 0
+
+    def _noop(self, interp, arg_nodes):
+        for node in arg_nodes:
+            interp.eval_expr(node)
+        return 0
+
+    # -- scheduling overhead ---------------------------------------------------------
+
+    def scheduling_overhead_cycles(self, config, total_cycles):
+        """Context-switch overhead of time-slicing the threads on one
+        core: every quantum boundary costs one switch, plus two
+        switches (in/out) per thread lifetime."""
+        quantum = max(config.scheduler_quantum_cycles, 1)
+        switches = total_cycles // quantum
+        switches += 2 * len(self.order)
+        return switches * config.context_switch_cycles

@@ -1,0 +1,157 @@
+"""End-to-end program runners.
+
+``run_pthread_single_core`` reproduces the paper's baseline: the whole
+multithreaded program on one SCC core, threads time-sliced.
+
+``run_rcce`` runs a translated program on N cores: one Python thread
+per simulated core, a shared memory object, a shared RCCE world, and
+per-core cycle clocks aligned at every barrier.  The reported runtime
+is the slowest core's final clock — wall time, as the paper measures.
+"""
+
+import threading
+
+from repro.cfront.frontend import parse_program
+from repro.rcce.api import RCCEWorld
+from repro.scc.chip import SCCChip
+from repro.scc.config import Table61Config
+from repro.sim.interpreter import Interpreter, ThreadExit
+from repro.sim.machine import Memory
+from repro.sim.pthread_rt import PthreadRuntime
+
+
+class RunResult:
+    """Outcome of one simulated program run."""
+
+    def __init__(self, cycles, config, output, per_core_cycles=None,
+                 exit_value=None, stats=None):
+        self.cycles = cycles
+        self.config = config
+        self.output = output
+        self.per_core_cycles = per_core_cycles or {}
+        self.exit_value = exit_value
+        self.stats = stats or {}
+
+    @property
+    def seconds(self):
+        return self.config.seconds_from_cycles(self.cycles)
+
+    def stdout(self):
+        return "".join(self.output)
+
+    def __repr__(self):
+        return "RunResult(%d cycles = %.6f s)" % (self.cycles,
+                                                  self.seconds)
+
+
+def _as_unit(program):
+    if isinstance(program, str):
+        return parse_program(program)
+    return program
+
+
+def run_pthread_single_core(program, config=None, chip=None, core=0,
+                            max_steps=200_000_000):
+    """Run a Pthreads program with all threads on one core."""
+    unit = _as_unit(program)
+    config = config or Table61Config()
+    chip = chip or SCCChip(config)
+    memory = Memory()
+    runtime = PthreadRuntime()
+    interp = Interpreter(unit, chip, core, memory, runtime, max_steps)
+    chip.activate_core(core)
+    try:
+        try:
+            exit_value = interp.run_main()
+        except ThreadExit as texit:
+            exit_value = texit.value
+        runtime.run_pending(interp)
+    finally:
+        chip.deactivate_core(core)
+    overhead = runtime.scheduling_overhead_cycles(config, interp.cycles)
+    total = interp.cycles + overhead
+    return RunResult(
+        total, config, interp.output,
+        per_core_cycles={core: total},
+        exit_value=exit_value,
+        stats={
+            "threads": len(runtime.order),
+            "compute_cycles": interp.cycles,
+            "scheduling_overhead_cycles": overhead,
+            "cache": chip.cache_stats(core),
+        })
+
+
+class _CoreError:
+    """Mutable holder for exceptions raised inside core threads."""
+
+    def __init__(self):
+        self.exc = None
+        self.lock = threading.Lock()
+
+    def record(self, exc):
+        with self.lock:
+            if self.exc is None:
+                self.exc = exc
+
+
+def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
+             max_steps=200_000_000):
+    """Run a translated RCCE program on ``num_ues`` simulated cores."""
+    unit = _as_unit(program)
+    config = config or Table61Config()
+    chip = chip or SCCChip(config)
+    world = RCCEWorld(chip, num_ues, core_map)
+    memory = Memory()
+    interpreters = []
+    error = _CoreError()
+
+    def core_main(rank):
+        runtime = world.runtime_for(rank)
+        try:
+            interp = Interpreter(unit, chip, runtime.core_id, memory,
+                                 runtime, max_steps)
+            interpreters.append(interp)
+            try:
+                interp.run_main()
+            except ThreadExit:
+                pass
+        except Exception as exc:  # noqa: BLE001 - surfaced to caller
+            error.record(exc)
+            world.barrier.abort()
+
+    # register every core with its memory controller BEFORE any core
+    # starts executing: the contention model must not depend on host
+    # thread-start skew (determinism)
+    for rank in range(num_ues):
+        chip.activate_core(world.core_map[rank])
+    threads = [threading.Thread(target=core_main, args=(rank,),
+                                name="scc-ue%d" % rank)
+               for rank in range(num_ues)]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        for rank in range(num_ues):
+            chip.deactivate_core(world.core_map[rank])
+    if error.exc is not None:
+        raise error.exc
+
+    per_core = {interp.core_id: interp.cycles for interp in interpreters}
+    total = max(per_core.values())
+    outputs = []
+    for interp in sorted(interpreters, key=lambda i: i.core_id):
+        outputs.extend(interp.output)
+    return RunResult(
+        total, config, outputs,
+        per_core_cycles=per_core,
+        stats={
+            "num_ues": num_ues,
+            "barrier_rounds": world.barrier.rounds,
+            "mpb_fallbacks": world.mpb_fallbacks,
+            "controllers": {index: (stats.reads, stats.writes)
+                            for index, stats
+                            in chip.controller_stats().items()},
+        })

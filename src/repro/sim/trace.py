@@ -1,0 +1,130 @@
+"""Memory-access tracing for the interpreter.
+
+The related work the paper contrasts against (von Praun & Gross [30],
+Pozniansky & Schuster [23], Xu et al. [32]) detects shared data *at
+runtime* by observing which threads touch which locations.  This module
+implements that observer: an :class:`AccessTracer` attached to an
+interpreter records every load/store with the executing thread's
+identity and maps addresses back to the variables that own them, so a
+dynamic sharing detector (``repro.core.dynamic``) can be compared
+against the paper's static Stage 1-3 analysis.
+
+Locals are tracked per *instance*: every stack binding registers a
+fresh extent, so two threads' own copies of the same local (which the
+sequential baseline places at the same reused stack addresses) are not
+mistaken for sharing — only a single instance touched by more than one
+thread counts, exactly the semantics a per-thread-stack machine would
+observe.
+"""
+
+import bisect
+
+
+class VariableExtent:
+    """One *instance* of a named variable's address range."""
+
+    __slots__ = ("name", "base", "size", "scope_kind", "function",
+                 "accessors", "reads", "writes")
+
+    def __init__(self, name, base, size, scope_kind, function):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.scope_kind = scope_kind
+        self.function = function
+        self.accessors = set()
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    @property
+    def key(self):
+        return (self.function, self.name)
+
+    def __repr__(self):
+        return "VariableExtent(%s @ 0x%x+%d, %d threads)" % (
+            self.name, self.base, self.size, len(self.accessors))
+
+
+class AccessTracer:
+    """Records accesses and resolves them to registered variables.
+
+    ``thread_of(interp)`` supplies the executing thread's identity (the
+    pthread runtime exposes its current TID; RCCE cores just use their
+    rank).
+    """
+
+    def __init__(self, thread_of=None):
+        self.thread_of = thread_of or (lambda interp: interp.core_id)
+        self._extents = []   # sorted by base; newest last among equals
+        self._bases = []
+        self.retired = []    # instances shadowed by re-registration
+        self.unresolved = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name, base, size, scope_kind, function=None):
+        extent = VariableExtent(name, base, max(size, 1), scope_kind,
+                                function)
+        index = bisect.bisect_right(self._bases, base)
+        # an identical base means a reused stack slot: retire the old
+        # instance so its accessor set stays frozen
+        if index > 0 and self._bases[index - 1] == base:
+            self.retired.append(self._extents[index - 1])
+            self._bases[index - 1] = base
+            self._extents[index - 1] = extent
+            return extent
+        self._bases.insert(index, base)
+        self._extents.insert(index, extent)
+        return extent
+
+    def resolve(self, addr):
+        """The live variable instance owning ``addr``, or None."""
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        extent = self._extents[index]
+        if addr < extent.end:
+            return extent
+        return None
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, interp, addr, kind):
+        extent = self.resolve(addr)
+        if extent is None:
+            self.unresolved += 1
+            return
+        extent.accessors.add(self.thread_of(interp))
+        if kind == "read":
+            extent.reads += 1
+        else:
+            extent.writes += 1
+
+    # -- results ---------------------------------------------------------------------
+
+    def _all_instances(self):
+        return list(self._extents) + self.retired
+
+    def shared_keys(self):
+        """Variables with at least one instance touched by more than
+        one thread."""
+        return {extent.key for extent in self._all_instances()
+                if len(extent.accessors) > 1}
+
+    def observed_keys(self):
+        """Variables with at least one touched instance."""
+        return {extent.key for extent in self._all_instances()
+                if extent.accessors}
+
+    def access_totals(self):
+        """{key: (reads, writes)} aggregated over instances."""
+        totals = {}
+        for extent in self._all_instances():
+            reads, writes = totals.get(extent.key, (0, 0))
+            totals[extent.key] = (reads + extent.reads,
+                                  writes + extent.writes)
+        return totals

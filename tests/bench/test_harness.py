@@ -1,0 +1,85 @@
+"""Experiment harness tests at reduced scale (4 UEs, tiny workloads)."""
+
+import pytest
+
+from repro.bench.harness import ExperimentHarness, VerificationError
+from repro.bench.workloads import Workload, scaled_config
+
+
+def tiny_harness(num_ues=4, **kwargs):
+    workloads = {
+        "pi": Workload("pi", {"steps": 512}, 64),
+        "sum35": Workload("sum35", {"limit": 512}, 64),
+        "stream": Workload("stream", {"n": 64}, 64 * 24),
+    }
+    return ExperimentHarness(num_ues=num_ues, workloads=workloads,
+                             **kwargs)
+
+
+class TestRuns:
+    def test_run_caches(self):
+        harness = tiny_harness()
+        first = harness.run("pi", "pthread")
+        second = harness.run("pi", "pthread")
+        assert first is second
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            tiny_harness().run("pi", "gpu")
+
+    def test_verification_passes_for_real_programs(self):
+        harness = tiny_harness()
+        run = harness.run("pi", "rcce-off")
+        assert run.cycles > 0
+
+    def test_result_line(self):
+        harness = tiny_harness()
+        assert harness.run("pi", "pthread").result_line().startswith(
+            "pi = 3.14")
+
+
+class TestFigures:
+    def test_figure_6_1_rows(self):
+        harness = tiny_harness()
+        rows = harness.figure_6_1(["pi", "sum35"])
+        assert [row["benchmark"] for row in rows] == ["pi", "sum35"]
+        assert all(row["speedup"] > 1.0 for row in rows)
+
+    def test_figure_6_2_rows(self):
+        harness = tiny_harness()
+        rows = harness.figure_6_2(["stream"])
+        assert rows[0]["improvement"] >= 1.0
+
+    def test_figure_6_3_monotone_scaling(self):
+        harness = tiny_harness()
+        rows = harness.figure_6_3("pi", core_counts=(1, 2, 4))
+        speedups = [row["speedup"] for row in rows]
+        assert speedups[0] < speedups[-1]
+
+    def test_average_improvement_geomean(self):
+        harness = tiny_harness()
+        average = harness.average_onchip_improvement(["pi", "stream"])
+        rows = harness.figure_6_2(["pi", "stream"])
+        expected = (rows[0]["improvement"] *
+                    rows[1]["improvement"]) ** 0.5
+        assert average == pytest.approx(expected)
+
+
+class TestShapes:
+    """The qualitative claims of the paper at small scale."""
+
+    def test_parallel_beats_single_core(self):
+        harness = tiny_harness()
+        row = harness.figure_6_1(["pi"])[0]
+        assert row["speedup"] > 2.0
+
+    def test_onchip_at_least_as_fast_as_offchip(self):
+        harness = tiny_harness()
+        for row in harness.figure_6_2(["pi", "stream"]):
+            assert row["improvement"] >= 0.95  # allow tiny noise floor
+
+    def test_memory_benchmark_gains_most_from_mpb(self):
+        harness = tiny_harness()
+        rows = {row["benchmark"]: row["improvement"]
+                for row in harness.figure_6_2(["pi", "stream"])}
+        assert rows["stream"] >= rows["pi"]

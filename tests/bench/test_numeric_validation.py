@@ -1,0 +1,92 @@
+"""Cross-validation of benchmark numerics against numpy/scipy.
+
+The simulated C programs must compute the *right* numbers, not just
+the same numbers in both paradigms — so the linear-algebra benchmarks
+are checked against independent reference implementations.
+"""
+
+import math
+
+import numpy
+import pytest
+import scipy.linalg
+
+from repro.bench.programs import benchmark_source
+from repro.sim.runner import run_pthread_single_core
+
+
+def output_value(source):
+    result = run_pthread_single_core(source)
+    return float(result.stdout().split("=")[1])
+
+
+class TestPi:
+    def test_midpoint_rule_matches_quadrature(self):
+        steps = 2048
+        source = benchmark_source("pi", nthreads=4, steps=steps)
+        step = 1.0 / steps
+        expected = sum(4.0 / (1.0 + ((i + 0.5) * step) ** 2)
+                       for i in range(steps)) * step
+        assert output_value(source) == pytest.approx(expected, rel=1e-6)
+        assert output_value(source) == pytest.approx(math.pi, abs=1e-4)
+
+
+class TestDot:
+    def test_matches_numpy_dot(self):
+        n = 256
+        source = benchmark_source("dot", nthreads=4, n=n)
+        x = numpy.arange(n) + 0.5
+        y = numpy.full(n, 2.0)
+        assert output_value(source) == pytest.approx(float(x @ y))
+
+
+class TestStream:
+    def test_matches_numpy_kernels(self):
+        n = 128
+        source = benchmark_source("stream", nthreads=4, n=n)
+        a = 1.0 + numpy.arange(n, dtype=float)
+        c = a.copy()              # copy
+        b = 3.0 * c               # scale
+        c = a + b                 # add
+        a = b + 3.0 * c           # triad
+        assert output_value(source) == pytest.approx(float(a.sum()))
+
+
+class TestLU:
+    def test_matches_scipy_lu(self):
+        dim, batch = 6, 4
+        source = benchmark_source("lu", nthreads=4, batch=batch,
+                                  dim=dim)
+        matrix = numpy.full((dim, dim), 1.0)
+        numpy.fill_diagonal(matrix, dim + 1.0)
+        # diagonally dominant: scipy pivots trivially (P = I), so its
+        # U diagonal equals the Doolittle U diagonal
+        _, _, upper = scipy.linalg.lu(matrix)
+        expected = batch * float(numpy.diag(upper).sum())
+        # the benchmark prints %.4f: compare at that precision
+        assert output_value(source) == pytest.approx(expected, abs=1e-3)
+
+
+class TestSum35:
+    def test_matches_closed_form(self):
+        limit = 4096
+        source = benchmark_source("sum35", nthreads=4, limit=limit)
+
+        def triangle(k):
+            m = (limit - 1) // k
+            return k * m * (m + 1) // 2
+
+        expected = triangle(3) + triangle(5) - triangle(15)
+        assert output_value(source) == expected
+
+
+class TestPrimes:
+    def test_matches_sympy_free_sieve(self):
+        limit = 512
+        source = benchmark_source("primes", nthreads=4, limit=limit)
+        sieve = numpy.ones(limit, dtype=bool)
+        sieve[:2] = False
+        for i in range(2, int(limit ** 0.5) + 1):
+            if sieve[i]:
+                sieve[i * i::i] = False
+        assert output_value(source) == int(sieve.sum())

@@ -1,0 +1,108 @@
+"""Benchmark corpus tests: every program parses, translates, and
+computes the right answer in both paradigms (at tiny sizes)."""
+
+import pytest
+
+from repro.bench.programs import (
+    BENCHMARKS,
+    CATEGORIES,
+    benchmark_names,
+    benchmark_source,
+)
+from repro.cfront.frontend import parse_program
+from repro.core.framework import TranslationFramework
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+TINY = {
+    "pi": {"steps": 64},
+    "sum35": {"limit": 100},
+    "primes": {"limit": 64},
+    "stream": {"n": 32},
+    "dot": {"n": 32},
+    "lu": {"batch": 4, "dim": 4},
+}
+
+# ground truth computed independently in Python
+EXPECTED = {
+    "sum35": "sum35 = %d\n" % sum(i for i in range(100)
+                                  if i % 3 == 0 or i % 5 == 0),
+    "primes": "primes = %d\n" % sum(
+        1 for i in range(2, 64)
+        if all(i % j for j in range(2, i))),
+    "dot": "dot = %.1f\n" % sum((0.5 + j) * 2.0 for j in range(32)),
+    "stream": "stream checksum = %.1f\n" % sum(
+        # a = b + 3c where c = a0 + b, b = 3*a0, a0 = 1+j
+        (3.0 * (1.0 + j)) + 3.0 * ((1.0 + j) + 3.0 * (1.0 + j))
+        for j in range(32)),
+}
+
+
+class TestCorpus:
+    def test_six_benchmarks(self):
+        assert set(benchmark_names()) == {
+            "pi", "sum35", "primes", "stream", "dot", "lu"}
+
+    def test_categories_cover_all(self):
+        assert set(CATEGORIES) == set(BENCHMARKS)
+        assert "linear algebra" in CATEGORIES.values()
+        assert "memory operations" in CATEGORIES.values()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_source("quicksort")
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_all_parse(self, name):
+        source = benchmark_source(name, nthreads=4, **TINY[name])
+        unit = parse_program(source)
+        assert unit.find_function("main") is not None
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_all_translate(self, name):
+        source = benchmark_source(name, nthreads=4, **TINY[name])
+        result = TranslationFramework().translate(source)
+        assert "RCCE_init" in result.rcce_source
+        assert "pthread" not in result.rcce_source
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_pthread_answer(self, name):
+        source = benchmark_source(name, nthreads=4, **TINY[name])
+        result = run_pthread_single_core(source)
+        assert result.stdout() == EXPECTED[name]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_rcce_matches_pthread(self, name):
+        source = benchmark_source(name, nthreads=4, **TINY[name])
+        translated = TranslationFramework(
+            partition_policy="off-chip-only").translate(source)
+        result = run_rcce(translated.unit, 4)
+        lines = result.stdout().strip().splitlines()
+        assert len(lines) == 4
+        assert all(line + "\n" == EXPECTED[name] for line in lines)
+
+    def test_pi_value_accurate(self):
+        source = benchmark_source("pi", nthreads=4, steps=4096)
+        result = run_pthread_single_core(source)
+        value = float(result.stdout().split("=")[1])
+        assert value == pytest.approx(3.14159265, abs=1e-4)
+
+    def test_lu_doolittle_diagonal(self):
+        # diagonally dominant DIM+1 matrix: U diagonal is positive and
+        # the checksum is finite/deterministic
+        source = benchmark_source("lu", nthreads=4, batch=4, dim=4)
+        base = run_pthread_single_core(source).stdout()
+        translated = TranslationFramework(
+            partition_policy="off-chip-only").translate(source)
+        rcce = run_rcce(translated.unit, 4).stdout().strip().splitlines()
+        assert all(line + "\n" == base for line in rcce)
+
+    def test_onchip_variant_same_answer(self):
+        source = benchmark_source("dot", nthreads=4, n=32)
+        base = run_pthread_single_core(source).stdout()
+        translated = TranslationFramework(
+            partition_policy="size").translate(source)
+        rcce = run_rcce(translated.unit, 4)
+        assert all(line + "\n" == base
+                   for line in rcce.stdout().strip().splitlines())

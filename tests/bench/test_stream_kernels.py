@@ -1,0 +1,59 @@
+"""Per-kernel STREAM builder tests (Appendix C, Algorithms 13-16)."""
+
+import pytest
+
+from repro.bench.programs import STREAM_KERNELS, stream_kernel
+from repro.core.framework import TranslationFramework
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+
+class TestBuilders:
+    def test_four_kernels(self):
+        assert set(STREAM_KERNELS) == {"copy", "scale", "add", "triad"}
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            stream_kernel("nonsense")
+
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    def test_kernel_body_embedded(self, kernel):
+        source = stream_kernel(kernel, nthreads=4, n=32)
+        assert kernel in source
+        assert "pthread_create" in source
+
+
+class TestKernelSemantics:
+    """Checksums against the STREAM definitions computed in Python."""
+
+    N = 32
+
+    def expected(self, kernel):
+        a = [1.0 + j for j in range(self.N)]
+        b = [2.0] * self.N
+        c = [0.5 * j for j in range(self.N)]
+        if kernel == "copy":
+            c = list(a)
+        elif kernel == "scale":
+            b = [3.0 * v for v in c]
+        elif kernel == "add":
+            c = [x + y for x, y in zip(a, b)]
+        else:  # triad
+            a = [y + 3.0 * z for y, z in zip(b, c)]
+        return sum(a) + sum(b) + sum(c)
+
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    def test_pthread_checksum(self, kernel):
+        source = stream_kernel(kernel, nthreads=4, n=self.N)
+        result = run_pthread_single_core(source)
+        value = float(result.stdout().split("=")[1])
+        assert value == pytest.approx(self.expected(kernel))
+
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    def test_translated_matches(self, kernel):
+        source = stream_kernel(kernel, nthreads=4, n=self.N)
+        baseline = run_pthread_single_core(source).stdout()
+        translated = TranslationFramework(
+            partition_policy="off-chip-only").translate(source)
+        result = run_rcce(translated.unit, 4)
+        assert all(line + "\n" == baseline
+                   for line in result.stdout().strip().splitlines())

@@ -1,0 +1,222 @@
+"""Code generator tests, including parse -> generate round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront import c_ast, ctypes
+from repro.cfront.codegen import generate
+from repro.cfront.parser import parse
+
+
+def roundtrip(source):
+    """generate(parse(source)) must re-parse to the same C text."""
+    first = generate(parse(source))
+    second = generate(parse(first))
+    assert first == second
+    return first
+
+
+class TestExpressions:
+    def test_simple_binop(self):
+        expr = c_ast.BinaryOp("+", c_ast.Id("a"), c_ast.Id("b"))
+        assert generate(expr) == "a + b"
+
+    def test_precedence_parens_preserved(self):
+        text = roundtrip("int x = (a + b) * c;")
+        assert "(a + b) * c" in text
+
+    def test_no_spurious_parens(self):
+        text = roundtrip("int x = a + b * c;")
+        assert "a + b * c" in text
+
+    def test_unary_minus_of_sum(self):
+        text = roundtrip("int x = -(a + b);")
+        assert "-(a + b)" in text
+
+    def test_nested_assignment(self):
+        text = roundtrip("void f(void) { a = b = c; }")
+        assert "a = b = c;" in text
+
+    def test_ternary(self):
+        text = roundtrip("int x = a ? b : c;")
+        assert "a ? b : c" in text
+
+    def test_cast_rendering(self):
+        text = roundtrip("void f(void) { x = (void *)t; }")
+        assert "(void *)t" in text
+
+    def test_sizeof_type(self):
+        text = roundtrip("int s = sizeof(double);")
+        assert "sizeof(double)" in text
+
+    def test_array_ref(self):
+        text = roundtrip("void f(void) { a[i] = b[i][j]; }")
+        assert "a[i] = b[i][j];" in text
+
+    def test_string_escapes(self):
+        expr = c_ast.StringLiteral("a\nb\"c")
+        assert generate(expr) == '"a\\nb\\"c"'
+
+    def test_pointer_deref_assignment(self):
+        text = roundtrip("void f(void) { *p = *q + 1; }")
+        assert "*p = *q + 1;" in text
+
+    def test_postfix_increment(self):
+        text = roundtrip("void f(void) { i++; --j; }")
+        assert "i++;" in text
+        assert "--j;" in text
+
+
+class TestDeclarations:
+    def test_global_with_init(self):
+        assert "int x = 5;" in roundtrip("int x = 5;")
+
+    def test_array_decl(self):
+        assert "int sum[3] = {0};" in roundtrip("int sum[3] = {0};")
+
+    def test_pointer_decl(self):
+        assert "int *p;" in roundtrip("int *p;")
+
+    def test_function_pointer_decl(self):
+        text = roundtrip("void (*handler)(int);")
+        assert "void (*handler)(int);" in text
+
+    def test_static_storage(self):
+        assert "static int s;" in roundtrip("static int s;")
+
+    def test_struct_definition(self):
+        text = roundtrip("struct point { int x; int y; };")
+        assert "struct point {" in text
+
+
+class TestStatements:
+    def test_if_else(self):
+        text = roundtrip(
+            "void f(void) { if (x) { y = 1; } else { y = 2; } }")
+        assert "if (x)" in text
+        assert "else" in text
+
+    def test_for_loop(self):
+        text = roundtrip(
+            "void f(void) { for (i = 0; i < 10; i++) { s += i; } }")
+        assert "for (i = 0; i < 10; i++)" in text
+
+    def test_for_with_decl(self):
+        text = roundtrip(
+            "void f(void) { for (int i = 0; i < 3; i++) ; }")
+        assert "for (int i = 0; i < 3; i++)" in text
+
+    def test_while(self):
+        text = roundtrip("void f(void) { while (n > 0) n--; }")
+        assert "while (n > 0)" in text
+
+    def test_do_while(self):
+        text = roundtrip("void f(void) { do { n--; } while (n); }")
+        assert "do" in text
+        assert "while (n);" in text
+
+    def test_switch(self):
+        text = roundtrip(
+            "void f(void) { switch (x) { case 1: y = 1; break; "
+            "default: y = 0; } }")
+        assert "switch (x)" in text
+        assert "case 1:" in text
+        assert "default:" in text
+
+    def test_return_value_parenthesized(self):
+        text = roundtrip("int f(void) { return 0; }")
+        assert "return (0);" in text
+
+    def test_includes_emitted(self):
+        unit = parse("int x;", includes=["stdio.h", "RCCE.h"])
+        text = generate(unit)
+        assert text.startswith("#include <stdio.h>\n#include <RCCE.h>")
+
+
+class TestRoundTripPrograms:
+    def test_example_4_1_round_trips(self):
+        from repro.bench.programs import EXAMPLE_4_1
+        from repro.cfront.frontend import parse_program
+        first = generate(parse_program(EXAMPLE_4_1))
+        # strip includes before re-parsing (parse() is post-preprocess)
+        body = "\n".join(line for line in first.splitlines()
+                         if not line.startswith("#include"))
+        second = generate(parse(body))
+        body2 = "\n".join(line for line in second.splitlines()
+                          if not line.startswith("#include"))
+        assert body.strip() == body2.strip()
+
+    def test_all_benchmarks_round_trip(self):
+        from repro.bench.programs import BENCHMARKS
+        from repro.cfront.frontend import parse_program
+        for name, builder in BENCHMARKS.items():
+            source = builder(nthreads=4)
+            first = generate(parse_program(source))
+            body = "\n".join(l for l in first.splitlines()
+                             if not l.startswith("#include"))
+            second = generate(parse(body))
+            body2 = "\n".join(l for l in second.splitlines()
+                              if not l.startswith("#include"))
+            assert body.strip() == body2.strip(), name
+
+
+# -- property-based round-trip over generated expressions ------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+_ints = st.integers(min_value=0, max_value=999)
+
+
+def _leaf():
+    return st.one_of(
+        _names.map(c_ast.Id),
+        _ints.map(lambda v: c_ast.Constant("int", v, str(v))),
+    )
+
+
+def _expr_strategy():
+    binops = st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "==",
+                              "&&", "||", "&", "|", "^", "<<", ">>"])
+    unops = st.sampled_from(["-", "!", "~"])
+    return st.recursive(
+        _leaf(),
+        lambda children: st.one_of(
+            st.tuples(binops, children, children).map(
+                lambda t: c_ast.BinaryOp(t[0], t[1], t[2])),
+            st.tuples(unops, children).map(
+                lambda t: c_ast.UnaryOp(t[0], t[1])),
+            st.tuples(children, children, children).map(
+                lambda t: c_ast.TernaryOp(t[0], t[1], t[2])),
+        ),
+        max_leaves=12,
+    )
+
+
+def _expr_fingerprint(expr):
+    """Structure + values, ignoring coordinates."""
+    if isinstance(expr, c_ast.Id):
+        return ("id", expr.name)
+    if isinstance(expr, c_ast.Constant):
+        return ("const", expr.value)
+    if isinstance(expr, c_ast.BinaryOp):
+        return ("bin", expr.op, _expr_fingerprint(expr.left),
+                _expr_fingerprint(expr.right))
+    if isinstance(expr, c_ast.UnaryOp):
+        return ("un", expr.op, _expr_fingerprint(expr.operand))
+    if isinstance(expr, c_ast.TernaryOp):
+        return ("tern", _expr_fingerprint(expr.cond),
+                _expr_fingerprint(expr.then), _expr_fingerprint(expr.els))
+    raise AssertionError("unexpected node %r" % expr)
+
+
+class TestExpressionRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_expr_strategy())
+    def test_generate_parse_preserves_structure(self, expr):
+        """Rendering an arbitrary expression and re-parsing it must
+        reproduce the exact same tree (precedence correctness)."""
+        text = generate(expr)
+        unit = parse("void f(void) { x = %s; }" % text)
+        stmt = unit.functions()[0].body.items[0]
+        reparsed = stmt.expr.rvalue
+        assert _expr_fingerprint(reparsed) == _expr_fingerprint(expr)

@@ -1,0 +1,73 @@
+"""Property: arbitrary declarations survive a generate -> parse round
+trip with identical types (the declarator grammar is the hairiest part
+of C)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront import c_ast, ctypes
+from repro.cfront.codegen import generate
+from repro.cfront.parser import parse
+
+_base_types = st.sampled_from([
+    ctypes.INT, ctypes.CHAR, ctypes.DOUBLE, ctypes.FLOAT,
+    ctypes.LONG, ctypes.UINT,
+])
+
+
+def _type_strategy():
+    return st.recursive(
+        _base_types,
+        lambda children: st.one_of(
+            children.map(ctypes.PointerType),
+            st.tuples(children,
+                      st.integers(min_value=1, max_value=64)).map(
+                lambda t: ctypes.ArrayType(t[0], t[1])),
+        ),
+        max_leaves=4,
+    )
+
+
+def _valid(ctype):
+    """C forbids arrays of functions etc.; arrays of arrays-of-pointers
+    are fine.  Our strategy only builds pointer/array stacks, which are
+    all legal."""
+    return True
+
+
+def _normalize(ctype):
+    """Structural fingerprint of a type."""
+    if isinstance(ctype, ctypes.PointerType):
+        return ("ptr", _normalize(ctype.base))
+    if isinstance(ctype, ctypes.ArrayType):
+        return ("arr", ctype.length, _normalize(ctype.base))
+    return ("prim", ctype.name)
+
+
+class TestDeclarationRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_type_strategy())
+    def test_global_declaration(self, ctype):
+        decl = c_ast.Decl("v", ctype)
+        text = generate(c_ast.TranslationUnit([decl]))
+        unit = parse(text)
+        reparsed = unit.global_decls()[0]
+        assert reparsed.name == "v"
+        assert _normalize(reparsed.ctype) == _normalize(ctype)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_type_strategy(), _type_strategy())
+    def test_two_declarations_independent(self, first, second):
+        unit_in = c_ast.TranslationUnit([
+            c_ast.Decl("a", first), c_ast.Decl("b", second)])
+        unit = parse(generate(unit_in))
+        decls = unit.global_decls()
+        assert _normalize(decls[0].ctype) == _normalize(first)
+        assert _normalize(decls[1].ctype) == _normalize(second)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_type_strategy())
+    def test_sizeof_stable_across_roundtrip(self, ctype):
+        decl = c_ast.Decl("v", ctype)
+        unit = parse(generate(c_ast.TranslationUnit([decl])))
+        assert unit.global_decls()[0].ctype.sizeof() == ctype.sizeof()

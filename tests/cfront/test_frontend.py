@@ -1,0 +1,52 @@
+"""Frontend facade and error-type tests."""
+
+import pytest
+
+from repro.cfront.errors import CFrontError, LexError, ParseError
+from repro.cfront.frontend import ENVIRONMENT_HEADERS, parse_program
+
+
+class TestParseProgram:
+    def test_includes_recorded(self):
+        unit = parse_program("#include <stdio.h>\nint x;")
+        assert unit.includes == ["stdio.h"]
+
+    def test_predefined_macros(self):
+        unit = parse_program("int a[N];", predefined={"N": 5})
+        assert unit.global_decls()[0].ctype.length == 5
+
+    def test_header_map(self):
+        unit = parse_program(
+            '#include "sizes.h"\nint a[BIG];',
+            header_map={"sizes.h": "#define BIG 64\n"})
+        assert unit.global_decls()[0].ctype.length == 64
+
+    def test_environment_headers_known(self):
+        assert "pthread.h" in ENVIRONMENT_HEADERS
+        assert "RCCE.h" in ENVIRONMENT_HEADERS
+
+    def test_filename_in_errors(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("int = 1;", filename="broken.c")
+        assert info.value.filename == "broken.c"
+
+
+class TestErrorFormatting:
+    def test_message_with_coordinates(self):
+        error = CFrontError("bad thing", line=3, column=7,
+                            filename="f.c")
+        assert "bad thing" in str(error)
+        assert "f.c" in str(error)
+        assert "line 3" in str(error)
+        assert "col 7" in str(error)
+
+    def test_message_without_coordinates(self):
+        assert str(CFrontError("oops")) == "oops"
+
+    def test_hierarchy(self):
+        assert issubclass(LexError, CFrontError)
+        assert issubclass(ParseError, CFrontError)
+
+    def test_lex_error_is_catchable_as_cfront(self):
+        with pytest.raises(CFrontError):
+            parse_program("int x = @;")

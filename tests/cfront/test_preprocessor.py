@@ -1,0 +1,176 @@
+"""Preprocessor unit tests."""
+
+import pytest
+
+from repro.cfront.errors import PreprocessError
+from repro.cfront.preprocessor import Preprocessor, preprocess
+
+
+class TestIncludes:
+    def test_system_include_recorded_and_removed(self):
+        result = preprocess("#include <stdio.h>\nint x;")
+        assert result.includes == ["stdio.h"]
+        assert "#include" not in result.text
+        assert "int x;" in result.text
+
+    def test_quoted_include(self):
+        result = preprocess('#include "RCCE.h"')
+        assert result.includes == ["RCCE.h"]
+
+    def test_multiple_includes_in_order(self):
+        result = preprocess("#include <a.h>\n#include <b.h>\n")
+        assert result.includes == ["a.h", "b.h"]
+
+    def test_malformed_include_raises(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#include stdio.h")
+
+    def test_header_map_expansion(self):
+        result = preprocess(
+            "#include <my.h>\nint y = FOO;",
+            header_map={"my.h": "#define FOO 7\n"})
+        assert "int y = 7;" in result.text
+
+    def test_line_numbering_preserved(self):
+        result = preprocess("#include <a.h>\nint x;\nint y;")
+        lines = result.text.split("\n")
+        assert lines[1] == "int x;"
+        assert lines[2] == "int y;"
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        result = preprocess("#define N 32\nint a[N];")
+        assert "int a[32];" in result.text
+
+    def test_define_used_twice(self):
+        result = preprocess("#define N 4\nint a = N + N;")
+        assert "int a = 4 + 4;" in result.text
+
+    def test_nested_macro_expansion(self):
+        result = preprocess(
+            "#define A 1\n#define B A + A\nint x = B;")
+        assert "int x = 1 + 1;" in result.text
+
+    def test_self_referential_macro_terminates(self):
+        result = preprocess("#define X X\nint X;")
+        assert "int X;" in result.text
+
+    def test_macro_not_expanded_in_string(self):
+        result = preprocess('#define N 9\nchar *s = "N";')
+        assert '"N"' in result.text
+
+    def test_macro_not_expanded_as_substring(self):
+        result = preprocess("#define N 9\nint NN = 1;")
+        assert "int NN = 1;" in result.text
+
+    def test_undef(self):
+        result = preprocess("#define N 9\n#undef N\nint N;")
+        assert "int N;" in result.text
+
+    def test_predefined_macros(self):
+        result = preprocess("int a[N];", predefined={"N": 16})
+        assert "int a[16];" in result.text
+
+    def test_macros_exported_in_result(self):
+        result = preprocess("#define LIMIT 100\n")
+        assert "LIMIT" in result.macros
+        assert result.macros["LIMIT"].body == "100"
+
+
+class TestFunctionMacros:
+    def test_simple_function_macro(self):
+        result = preprocess("#define SQ(x) ((x) * (x))\nint y = SQ(3);")
+        assert "int y = ((3) * (3));" in result.text
+
+    def test_two_parameter_macro(self):
+        result = preprocess(
+            "#define MIN(a, b) ((a) < (b) ? (a) : (b))\n"
+            "int m = MIN(p, q);")
+        assert "((p) < (q) ? (p) : (q))" in result.text
+
+    def test_function_macro_without_call_left_alone(self):
+        result = preprocess("#define F(x) x\nint F;")
+        assert "int F;" in result.text
+
+    def test_nested_parens_in_argument(self):
+        result = preprocess("#define ID(x) x\nint y = ID((1 + 2));")
+        assert "int y = (1 + 2);" in result.text
+
+    def test_comma_in_nested_parens_not_a_separator(self):
+        result = preprocess("#define ID(x) x\nint y = ID(f(a, b));")
+        assert "int y = f(a, b);" in result.text
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#define TWO(a, b) a b\nint x = TWO(1);")
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        result = preprocess("#define D 1\n#ifdef D\nint x;\n#endif")
+        assert "int x;" in result.text
+
+    def test_ifdef_not_taken(self):
+        result = preprocess("#ifdef D\nint x;\n#endif\nint y;")
+        assert "int x;" not in result.text
+        assert "int y;" in result.text
+
+    def test_ifndef(self):
+        result = preprocess("#ifndef D\nint x;\n#endif")
+        assert "int x;" in result.text
+
+    def test_else_branch(self):
+        result = preprocess(
+            "#ifdef D\nint x;\n#else\nint y;\n#endif")
+        assert "int x;" not in result.text
+        assert "int y;" in result.text
+
+    def test_nested_conditionals(self):
+        source = ("#define A 1\n#ifdef A\n#ifdef B\nint x;\n#endif\n"
+                  "int y;\n#endif")
+        result = preprocess(source)
+        assert "int x;" not in result.text
+        assert "int y;" in result.text
+
+    def test_defines_inside_untaken_branch_ignored(self):
+        result = preprocess(
+            "#ifdef NO\n#define N 1\n#endif\nint a[N];",
+            predefined={"N": 2})
+        assert "int a[2];" in result.text
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#ifdef D\nint x;")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#endif")
+
+    def test_stray_else_raises(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#else")
+
+
+class TestMisc:
+    def test_pragma_ignored(self):
+        result = preprocess("#pragma once\nint x;")
+        assert "int x;" in result.text
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#frobnicate")
+
+    def test_continuation_in_define(self):
+        result = preprocess("#define N 1 + \\\n  2\nint x = N;")
+        assert "int x = 1 +   2;" in result.text
+
+    def test_shared_macro_state_isolated_between_instances(self):
+        preprocess("#define N 1\n")
+        result = preprocess("int a[N];", predefined={"N": 3})
+        assert "int a[3];" in result.text
+
+    def test_preprocessor_class_reuse(self):
+        pp = Preprocessor(predefined={"K": 5})
+        first = pp.process("int a[K];")
+        assert "int a[5];" in first.text

@@ -1,0 +1,61 @@
+"""Property-based preprocessor tests."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cfront.preprocessor import preprocess
+
+_names = st.from_regex(r"[A-Z][A-Z0-9_]{0,8}", fullmatch=True)
+_values = st.integers(min_value=0, max_value=10 ** 6)
+
+
+class TestMacroProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(_names, _values)
+    def test_define_substitutes_exact_value(self, name, value):
+        assume(name not in ("IF", "DO"))  # avoid keyword-ish noise
+        result = preprocess("#define %s %d\nint a[%s];"
+                            % (name, value, name))
+        assert "int a[%d];" % value in result.text
+
+    @settings(max_examples=100, deadline=None)
+    @given(_names, _values, _values)
+    def test_redefinition_last_wins(self, name, first, second):
+        result = preprocess(
+            "#define %s %d\n#define %s %d\nint x = %s;"
+            % (name, first, name, second, name))
+        assert "int x = %d;" % second in result.text
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(_names, _values, min_size=1, max_size=5))
+    def test_many_macros_independent(self, macros):
+        lines = ["#define %s %d" % (name, value)
+                 for name, value in macros.items()]
+        uses = ["int v%d = %s;" % (index, name)
+                for index, name in enumerate(macros)]
+        result = preprocess("\n".join(lines + uses))
+        for index, (name, value) in enumerate(macros.items()):
+            assert "int v%d = %d;" % (index, value) in result.text
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, _values)
+    def test_text_without_macro_untouched(self, name, value):
+        source = "int unrelated = 1;\nchar *s = \"keep\";"
+        result = preprocess("#define %s %d\n%s" % (name, value, source))
+        assert "int unrelated = 1;" in result.text
+        assert '"keep"' in result.text
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, _values)
+    def test_undef_round_trip(self, name, value):
+        result = preprocess(
+            "#define %s %d\n#undef %s\nint %s;" % (name, value, name,
+                                                   name))
+        assert "int %s;" % name in result.text
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values)
+    def test_line_count_preserved(self, value):
+        source = "#define K %d\nint a;\nint b[K];\nint c;" % value
+        result = preprocess(source)
+        assert result.text.count("\n") == source.count("\n")

@@ -1,0 +1,84 @@
+"""Symbol table tests."""
+
+from repro.cfront import ctypes
+from repro.cfront.parser import parse
+from repro.cfront.symbols import Scope, Symbol, SymbolTableBuilder
+
+SOURCE = """
+int g;
+int *p;
+void f(int a) {
+    int x;
+    {
+        double y;
+    }
+}
+int main(void) {
+    int x;
+    return 0;
+}
+"""
+
+
+class TestScope:
+    def test_define_and_lookup(self):
+        scope = Scope()
+        symbol = Symbol("x", ctypes.INT, "local")
+        scope.define(symbol)
+        assert scope.lookup("x") is symbol
+
+    def test_parent_fallback(self):
+        parent = Scope()
+        parent.define(Symbol("g", ctypes.INT, "global"))
+        child = Scope(parent)
+        assert child.lookup("g").name == "g"
+
+    def test_shadowing(self):
+        parent = Scope()
+        parent.define(Symbol("x", ctypes.INT, "global"))
+        child = Scope(parent)
+        inner = Symbol("x", ctypes.DOUBLE, "local")
+        child.define(inner)
+        assert child.lookup("x") is inner
+        assert parent.lookup("x") is not inner
+
+    def test_contains(self):
+        scope = Scope()
+        scope.define(Symbol("a", ctypes.INT, "local"))
+        assert "a" in scope
+        assert "b" not in scope
+
+
+class TestSymbolTableBuilder:
+    def test_globals_collected(self):
+        table = SymbolTableBuilder(parse(SOURCE))
+        assert set(table.globals) == {"g", "p"}
+        assert table.globals["g"].is_global
+
+    def test_function_locals_collected(self):
+        table = SymbolTableBuilder(parse(SOURCE))
+        f_symbols = table.by_function["f"]
+        assert set(f_symbols) == {"a", "x", "y"}
+        assert f_symbols["a"].scope_kind == "param"
+        assert f_symbols["x"].scope_kind == "local"
+
+    def test_lookup_scoping(self):
+        table = SymbolTableBuilder(parse(SOURCE))
+        assert table.lookup("x", "f").function == "f"
+        assert table.lookup("x", "main").function == "main"
+        assert table.lookup("g", "f").is_global
+        assert table.lookup("missing", "f") is None
+
+    def test_same_name_different_functions_distinct(self):
+        table = SymbolTableBuilder(parse(SOURCE))
+        assert table.lookup("x", "f") is not table.lookup("x", "main")
+
+    def test_all_symbols(self):
+        table = SymbolTableBuilder(parse(SOURCE))
+        names = [s.name for s in table.all_symbols()]
+        assert names.count("x") == 2
+        assert "g" in names
+
+    def test_function_prototypes_not_variables(self):
+        table = SymbolTableBuilder(parse("int f(int x); int g;"))
+        assert set(table.globals) == {"g"}

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.bench.programs import EXAMPLE_4_1
+from repro.cfront.frontend import parse_program
+from repro.core.framework import TranslationFramework
+
+
+@pytest.fixture
+def example_source():
+    """The paper's running example (Example Code 4.1)."""
+    return EXAMPLE_4_1
+
+
+@pytest.fixture
+def example_unit(example_source):
+    return parse_program(example_source)
+
+
+@pytest.fixture
+def framework():
+    return TranslationFramework()
+
+
+@pytest.fixture
+def analyzed_example(framework, example_source):
+    """Stages 1-3 over the running example."""
+    return framework.analyze(example_source)
+
+
+@pytest.fixture
+def translated_example(framework, example_source):
+    """The full five-stage pipeline over the running example."""
+    return framework.translate(example_source)

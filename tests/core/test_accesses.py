@@ -1,0 +1,96 @@
+"""Unit tests for the access classifier (repro.core.accesses)."""
+
+from repro.cfront.parser import parse
+from repro.core.accesses import Access, base_variable, classify_expr
+from repro.cfront import c_ast
+
+
+def expr_of(text):
+    unit = parse("void f(void) { %s; }" % text)
+    return unit.functions()[0].body.items[0].expr
+
+
+def classify(text, weight=1):
+    accesses = classify_expr(expr_of(text), "f", weight)
+    return [(a.name, a.kind, a.weight) for a in accesses]
+
+
+class TestBaseVariable:
+    def test_plain_id(self):
+        assert base_variable(expr_of("x")) == "x"
+
+    def test_array_ref(self):
+        assert base_variable(expr_of("a[i]")) == "a"
+
+    def test_nested_array_ref(self):
+        assert base_variable(expr_of("m[i][j]")) == "m"
+
+    def test_member_ref(self):
+        assert base_variable(expr_of("s.field")) == "s"
+
+    def test_deref_is_none(self):
+        assert base_variable(expr_of("*p")) is None
+
+
+class TestClassification:
+    def test_read(self):
+        assert classify("x") == [("x", Access.READ, 1)]
+
+    def test_plain_assign(self):
+        result = classify("x = y")
+        assert ("x", Access.WRITE, 1) in result
+        assert ("y", Access.READ, 1) in result
+        assert ("x", Access.READ, 1) not in result
+
+    def test_compound_assign(self):
+        result = classify("x += y")
+        assert ("x", Access.READ, 1) in result
+        assert ("x", Access.WRITE, 1) in result
+
+    def test_array_assign_index_read(self):
+        result = classify("a[i] = 0")
+        assert ("a", Access.WRITE, 1) in result
+        assert ("i", Access.READ, 1) in result
+
+    def test_deref_write_reads_pointer(self):
+        result = classify("*p = 1")
+        assert ("p", Access.READ, 1) in result
+        # the pointee is statically unknown: no write recorded
+        assert all(kind != Access.WRITE for _, kind, _ in result)
+
+    def test_increment(self):
+        result = classify("n++")
+        assert ("n", Access.READ, 1) in result
+        assert ("n", Access.WRITE, 1) in result
+
+    def test_weight_propagates(self):
+        assert classify("x", weight=7) == [("x", Access.READ, 7)]
+
+    def test_call_arguments_read(self):
+        result = classify("g(x, y + z)")
+        names = {name for name, _, _ in result}
+        assert names == {"x", "y", "z"}
+
+    def test_callee_name_not_an_access(self):
+        result = classify("g(1)")
+        assert result == []
+
+    def test_ternary_all_arms(self):
+        result = classify("c ? t : e")
+        assert {name for name, _, _ in result} == {"c", "t", "e"}
+
+    def test_sizeof_unevaluated(self):
+        assert classify("sizeof x") == []
+
+    def test_address_of_reads(self):
+        assert classify("&x") == [("x", Access.READ, 1)]
+
+    def test_comma_both_sides(self):
+        result = classify("a = 1, b = 2")
+        writes = {n for n, k, _ in result if k == Access.WRITE}
+        assert writes == {"a", "b"}
+
+    def test_chained_assignment(self):
+        result = classify("a = b = 1")
+        writes = {n for n, k, _ in result if k == Access.WRITE}
+        assert writes == {"a", "b"}

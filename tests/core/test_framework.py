@@ -1,0 +1,80 @@
+"""Framework facade and report formatting tests."""
+
+import pytest
+
+from repro.core.framework import TranslationFramework
+from repro.core.reports import format_table, table_4_1, table_4_2
+from repro.core.stage4_partition import MemoryBank
+
+
+class TestFacade:
+    def test_analyze_runs_three_stages(self, framework, example_source):
+        result = framework.analyze(example_source)
+        assert result.pass_log == [
+            "stage1-variable-scope-analysis",
+            "stage2-inter-thread-analysis",
+            "stage3-alias-pointer-analysis",
+        ]
+        assert result.plan is None
+
+    def test_partition_runs_four_stages(self, framework, example_source):
+        result = framework.partition(example_source)
+        assert result.plan is not None
+        assert result.pass_log[-1] == "stage4-data-partitioning"
+
+    def test_translate_runs_everything(self, framework, example_source):
+        result = framework.translate(example_source)
+        assert "stage5-threads-to-processes" in result.pass_log
+        assert result.rcce_source.startswith("#include")
+
+    def test_policy_override_per_call(self, example_source):
+        framework = TranslationFramework(partition_policy="size")
+        result = framework.partition(example_source,
+                                     policy="off-chip-only")
+        assert result.plan.on_chip_bytes == 0
+
+    def test_accepts_parsed_unit(self, framework, example_unit):
+        result = framework.analyze(example_unit)
+        assert result.unit is example_unit
+
+    def test_capacity_respected(self, example_source):
+        framework = TranslationFramework(on_chip_capacity=8)
+        result = framework.partition(example_source)
+        # sum (12 bytes) cannot fit in 8 bytes of on-chip memory
+        assert result.plan.bank_of("sum") is MemoryBank.OFF_CHIP
+        assert result.plan.bank_of("ptr") is MemoryBank.ON_CHIP
+
+    def test_sharing_table_exposed(self, analyzed_example):
+        table = analyzed_example.sharing_table()
+        assert "sum" in table
+
+    def test_program_without_threads_translates(self, framework):
+        result = framework.translate(
+            "#include <stdio.h>\nint main(void) "
+            "{ printf(\"x\"); return 0; }")
+        text = result.rcce_source
+        assert "RCCE_init" in text
+        assert "RCCE_finalize" in text
+
+    def test_thread_launch_metadata(self, analyzed_example):
+        launches = analyzed_example.thread_launches
+        assert len(launches) == 1
+        assert launches[0].in_loop
+        assert analyzed_example.thread_functions == {"tf"}
+
+
+class TestReportFormatting:
+    def test_format_table_renders_all_rows(self, analyzed_example):
+        text = format_table(table_4_1(analyzed_example),
+                            title="Table 4.1")
+        assert "Table 4.1" in text
+        assert "threads" in text
+        assert text.count("\n") >= 10
+
+    def test_format_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_table_4_2_columns(self, analyzed_example):
+        rows = table_4_2(analyzed_example)
+        assert all(set(row) == {"variable", "stage1", "stage2", "stage3"}
+                   for row in rows)

@@ -1,0 +1,63 @@
+"""Golden-file regression tests for the translator.
+
+Each benchmark's translated RCCE source is pinned under
+``tests/golden/``; any change to the translator's output shows up as a
+diff here.  To intentionally update the goldens run::
+
+    GOLDEN_UPDATE=1 pytest tests/core/test_golden_translations.py
+"""
+
+import os
+
+import pytest
+
+from repro.bench.programs import BENCHMARKS, EXAMPLE_4_1
+from repro.core.framework import TranslationFramework
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+SIZES = {
+    "pi": {"steps": 256},
+    "sum35": {"limit": 256},
+    "primes": {"limit": 128},
+    "stream": {"n": 64},
+    "dot": {"n": 64},
+    "lu": {"batch": 4, "dim": 6},
+}
+
+
+def translate(name):
+    framework = TranslationFramework(partition_policy="off-chip-only")
+    if name == "example_4_1":
+        source = EXAMPLE_4_1
+    else:
+        source = BENCHMARKS[name](nthreads=8, **SIZES[name])
+    return framework.translate(source).rcce_source
+
+
+def golden_path(name):
+    return os.path.join(GOLDEN_DIR, "%s.rcce.c" % name)
+
+
+def check_or_update(name):
+    actual = translate(name)
+    path = golden_path(name)
+    if os.environ.get("GOLDEN_UPDATE"):
+        with open(path, "w") as handle:
+            handle.write(actual)
+        return
+    with open(path) as handle:
+        expected = handle.read()
+    assert actual == expected, (
+        "translator output changed for %s; run with GOLDEN_UPDATE=1 "
+        "to accept" % name)
+
+
+@pytest.mark.parametrize("name",
+                         sorted(BENCHMARKS) + ["example_4_1"])
+def test_golden(name):
+    check_or_update(name)
+
+
+def test_translation_is_deterministic():
+    assert translate("pi") == translate("pi")

@@ -1,0 +1,197 @@
+"""Appendix A/B pass tests (Algorithms 5-10) run in isolation."""
+
+from repro.cfront import c_ast
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_calls
+from repro.ir.passes import Driver, ProgramContext
+from repro.core.insertion import (
+    AddRCCEFinalizeCall,
+    AddRCCEInitCall,
+    RewriteIncludes,
+)
+from repro.core.removal import (
+    RemovePthreadAPICalls,
+    RemovePthreadDataTypes,
+    RemovePthreadJoinCalls,
+    RemovePthreadSelfCalls,
+    RemoveUnusedPrivates,
+)
+
+
+def run_pass(pass_, source):
+    context = ProgramContext(parse(source))
+    Driver([pass_]).run(context)
+    return context.unit
+
+
+class TestAlgorithm5Join:
+    def test_standalone_join_removed(self):
+        unit = run_pass(RemovePthreadJoinCalls(), """
+        int main(void) { pthread_t t; pthread_join(t, 0); return 0; }
+        """)
+        assert find_calls(unit, "pthread_join") == []
+
+    def test_other_statements_preserved(self):
+        unit = run_pass(RemovePthreadJoinCalls(), """
+        int g;
+        int main(void) { pthread_join(0, 0); g = 1; return 0; }
+        """)
+        assert len(find_calls(unit, "pthread_join")) == 0
+        assigns = [n for n in c_ast.walk(unit)
+                   if isinstance(n, c_ast.Assignment)]
+        assert len(assigns) == 1
+
+
+class TestAlgorithm6Self:
+    def test_self_replaced_with_rcce_ue(self):
+        unit = run_pass(RemovePthreadSelfCalls(), """
+        int main(void) { int id = (int)pthread_self(); return id; }
+        """)
+        assert find_calls(unit, "pthread_self") == []
+        assert len(find_calls(unit, "RCCE_ue")) == 1
+
+
+class TestAlgorithm7DataTypes:
+    def test_local_pthread_decl_removed(self):
+        unit = run_pass(RemovePthreadDataTypes(), """
+        int main(void) { pthread_t t; int keep; return 0; }
+        """)
+        decls = [d for n in c_ast.walk(unit)
+                 if isinstance(n, c_ast.DeclStmt) for d in n.decls]
+        assert [d.name for d in decls] == ["keep"]
+
+    def test_global_pthread_decl_removed(self):
+        unit = run_pass(RemovePthreadDataTypes(), """
+        pthread_mutex_t lock;
+        int keep;
+        int main(void) { return 0; }
+        """)
+        assert [d.name for d in unit.global_decls()] == ["keep"]
+
+    def test_array_of_pthread_type_removed(self):
+        unit = run_pass(RemovePthreadDataTypes(), """
+        int main(void) { pthread_t threads[8]; return 0; }
+        """)
+        decls = [d for n in c_ast.walk(unit)
+                 if isinstance(n, c_ast.DeclStmt) for d in n.decls]
+        assert decls == []
+
+    def test_mixed_declstmt_partially_kept(self):
+        unit = run_pass(RemovePthreadDataTypes(), """
+        int main(void) { pthread_cond_t c; return 0; }
+        """)
+        assert all(not isinstance(n, c_ast.DeclStmt) or n.decls
+                   for n in c_ast.walk(unit))
+
+
+class TestAlgorithm8APICalls:
+    def test_exit_and_attr_calls_removed(self):
+        unit = run_pass(RemovePthreadAPICalls(), """
+        void *tf(void *a) { pthread_exit(0); return 0; }
+        int main(void) { pthread_attr_init(0); return 0; }
+        """)
+        assert find_calls(unit, "pthread_exit") == []
+        assert find_calls(unit, "pthread_attr_init") == []
+
+    def test_non_pthread_calls_kept(self):
+        unit = run_pass(RemovePthreadAPICalls(), """
+        int main(void) { printf("hi"); pthread_exit(0); return 0; }
+        """)
+        assert len(find_calls(unit, "printf")) == 1
+
+
+class TestAlgorithm9Init:
+    def test_init_is_first_statement(self):
+        unit = run_pass(AddRCCEInitCall(), "int main(void) { return 0; }")
+        first = unit.find_function("main").body.items[0]
+        assert first.expr.callee_name == "RCCE_init"
+
+    def test_init_arguments(self):
+        unit = run_pass(AddRCCEInitCall(), "int main(void) { return 0; }")
+        call = unit.find_function("main").body.items[0].expr
+        assert all(isinstance(arg, c_ast.UnaryOp) and arg.op == "&"
+                   for arg in call.args)
+
+    def test_idempotent(self):
+        context = ProgramContext(parse("int main(void) { return 0; }"))
+        Driver([AddRCCEInitCall(), AddRCCEInitCall()]).run(context)
+        calls = find_calls(context.unit, "RCCE_init")
+        assert len(calls) == 1
+
+
+class TestAlgorithm10Finalize:
+    def test_finalize_before_return(self):
+        unit = run_pass(AddRCCEFinalizeCall(),
+                        "int main(void) { int x = 1; return x; }")
+        items = unit.find_function("main").body.items
+        assert items[-2].expr.callee_name == "RCCE_finalize"
+        assert isinstance(items[-1], c_ast.Return)
+
+    def test_finalize_appended_without_return(self):
+        unit = run_pass(AddRCCEFinalizeCall(),
+                        "void main(void) { int x = 1; }")
+        items = unit.find_function("main").body.items
+        assert items[-1].expr.callee_name == "RCCE_finalize"
+
+    def test_idempotent(self):
+        context = ProgramContext(parse("int main(void) { return 0; }"))
+        Driver([AddRCCEFinalizeCall(), AddRCCEFinalizeCall()]).run(context)
+        assert len(find_calls(context.unit, "RCCE_finalize")) == 1
+
+
+class TestRewriteIncludes:
+    def test_pthread_swapped_for_rcce(self):
+        context = ProgramContext(parse("int x;"))
+        context.unit.includes = ["stdio.h", "pthread.h"]
+        Driver([RewriteIncludes()]).run(context)
+        assert context.unit.includes == ["stdio.h", "RCCE.h"]
+
+    def test_rcce_added_even_without_pthread(self):
+        context = ProgramContext(parse("int x;"))
+        context.unit.includes = ["stdio.h"]
+        Driver([RewriteIncludes()]).run(context)
+        assert "RCCE.h" in context.unit.includes
+
+
+class TestRemoveUnusedPrivates:
+    def test_dead_local_removed(self):
+        unit = run_pass(RemoveUnusedPrivates(),
+                        "int main(void) { int dead = 1; return 0; }")
+        assert "dead" not in str(
+            [n for n in c_ast.walk(unit) if isinstance(n, c_ast.Decl)])
+
+    def test_used_local_kept(self):
+        unit = run_pass(RemoveUnusedPrivates(),
+                        "int main(void) { int live = 1; return live; }")
+        decls = [d for n in c_ast.walk(unit)
+                 if isinstance(n, c_ast.DeclStmt) for d in n.decls]
+        assert [d.name for d in decls] == ["live"]
+
+    def test_side_effect_initializer_kept(self):
+        unit = run_pass(RemoveUnusedPrivates(), """
+        int f(void) { return 1; }
+        int main(void) { int dead = f(); return 0; }
+        """)
+        decls = [d for n in c_ast.walk(unit)
+                 if isinstance(n, c_ast.DeclStmt) for d in n.decls]
+        assert [d.name for d in decls] == ["dead"]
+
+    def test_cascading_removal(self):
+        # b is only used by dead a: both must go
+        unit = run_pass(RemoveUnusedPrivates(), """
+        int main(void) { int b = 1; int a = b; return 0; }
+        """)
+        decls = [d for n in c_ast.walk(unit)
+                 if isinstance(n, c_ast.DeclStmt) for d in n.decls]
+        assert decls == []
+
+    def test_unused_global_removed(self):
+        unit = run_pass(RemoveUnusedPrivates(),
+                        "int dead; int main(void) { return 0; }")
+        assert unit.global_decls() == []
+
+    def test_parameters_never_removed(self):
+        unit = run_pass(RemoveUnusedPrivates(),
+                        "int f(int unused) { return 0; } "
+                        "int main(void) { return f(1); }")
+        assert len(unit.find_function("f").params) == 1

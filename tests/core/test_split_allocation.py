@@ -1,0 +1,159 @@
+"""§4.4 split-allocation tests: arrays split between SRAM and DRAM."""
+
+import pytest
+
+from repro.cfront import ctypes
+from repro.core.framework import TranslationFramework
+from repro.core.stage4_partition import (
+    MemoryBank,
+    partition_shared_variables,
+)
+from repro.core.varinfo import Sharing, VariableInfo
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig
+from repro.scc.memmap import SegmentKind
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+
+def var(name, nbytes):
+    info = VariableInfo(name, ctypes.ArrayType(ctypes.CHAR, nbytes),
+                        "global")
+    info.set_sharing(Sharing.TRUE, 1)
+    return info
+
+
+class TestPartitionerSplit:
+    def test_oversized_variable_split(self):
+        plan = partition_shared_variables([var("big", 1000)],
+                                          capacity=256,
+                                          allow_split=True)
+        placement = plan.placements[(None, "big")]
+        assert placement.bank is MemoryBank.SPLIT
+        assert placement.on_chip_bytes == 256
+        assert plan.on_chip_bytes == 256
+        assert plan.off_chip_bytes == 744
+
+    def test_split_disabled_by_default(self):
+        plan = partition_shared_variables([var("big", 1000)],
+                                          capacity=256)
+        assert plan.placements[(None, "big")].bank is \
+            MemoryBank.OFF_CHIP
+
+    def test_tiny_remainder_not_split(self):
+        plan = partition_shared_variables(
+            [var("small", 60), var("big", 1000)], capacity=64,
+            allow_split=True)
+        # after small (60B), only 4B remain: below MIN_SPLIT_BYTES
+        assert plan.placements[(None, "big")].bank is \
+            MemoryBank.OFF_CHIP
+
+    def test_fitting_variables_unaffected(self):
+        plan = partition_shared_variables(
+            [var("fits", 100), var("big", 1000)], capacity=400,
+            allow_split=True)
+        assert plan.placements[(None, "fits")].bank is \
+            MemoryBank.ON_CHIP
+        assert plan.placements[(None, "big")].bank is MemoryBank.SPLIT
+        assert plan.placements[(None, "big")].on_chip_bytes == 300
+
+
+class TestAddressSpaceSplit:
+    def test_resolution_by_offset(self):
+        chip = SCCChip(SCCConfig())
+        segment = chip.address_space.alloc_split(1024, 256)
+        kind, _ = chip.address_space.resolve(segment.base)
+        assert kind is SegmentKind.MPB
+        kind, _ = chip.address_space.resolve(segment.base + 255)
+        assert kind is SegmentKind.MPB
+        kind, _ = chip.address_space.resolve(segment.base + 256)
+        assert kind is SegmentKind.SHARED
+
+    def test_head_cheaper_than_tail(self):
+        chip = SCCChip(SCCConfig())
+        segment = chip.address_space.alloc_split(1024, 256)
+        chip.access_cost(0, segment.base, "write")
+        head = chip.access_cost(0, segment.base, "read")  # L1-cached MPB
+        tail = chip.access_cost(0, segment.base + 512, "read")
+        assert head < tail
+
+    def test_two_splits_disjoint(self):
+        chip = SCCChip(SCCConfig())
+        first = chip.address_space.alloc_split(512, 128)
+        second = chip.address_space.alloc_split(512, 128)
+        assert first.end <= second.base
+
+
+class TestEndToEndSplit:
+    SOURCE = """
+    #include <stdio.h>
+    #include <pthread.h>
+
+    #define NTHREADS 4
+    #define N 256
+
+    double big[256];
+    double checksum[4];
+
+    void *worker(void *tid) {
+        int id = (int)tid;
+        int chunk = N / NTHREADS;
+        int lo = id * chunk;
+        int j;
+        double local = 0.0;
+        for (j = lo; j < lo + chunk; j++) {
+            big[j] = j + 0.5;
+        }
+        for (j = lo; j < lo + chunk; j++) {
+            local += big[j];
+        }
+        checksum[id] = local;
+        pthread_exit(NULL);
+    }
+
+    int main(void) {
+        pthread_t th[4];
+        int t;
+        double total = 0.0;
+        for (t = 0; t < NTHREADS; t++)
+            pthread_create(&th[t], NULL, worker, (void *)t);
+        for (t = 0; t < NTHREADS; t++)
+            pthread_join(th[t], NULL);
+        for (t = 0; t < NTHREADS; t++)
+            total += checksum[t];
+        printf("%.1f\\n", total);
+        return 0;
+    }
+    """
+
+    def framework(self):
+        # capacity fits checksum (32B) + part of big (2048B)
+        return TranslationFramework(on_chip_capacity=1024,
+                                    allow_split=True)
+
+    def test_translation_emits_split_alloc(self):
+        translated = self.framework().translate(self.SOURCE)
+        text = translated.rcce_source
+        assert "RCCE_shmalloc_split(sizeof(double) * 256" in text
+
+    def test_split_program_correct(self):
+        baseline = run_pthread_single_core(self.SOURCE)
+        translated = self.framework().translate(self.SOURCE)
+        result = run_rcce(translated.unit, 4)
+        assert all(line + "\n" == baseline.stdout()
+                   for line in result.stdout().strip().splitlines())
+
+    def test_split_faster_than_off_chip_slower_than_full_mpb(self):
+        """The paper's 'very slight performance improvement': split
+        sits between all-DRAM and all-MPB."""
+        translated_off = TranslationFramework(
+            partition_policy="off-chip-only").translate(self.SOURCE)
+        off = run_rcce(translated_off.unit, 4).cycles
+
+        translated_split = self.framework().translate(self.SOURCE)
+        split = run_rcce(translated_split.unit, 4).cycles
+
+        translated_on = TranslationFramework(
+            on_chip_capacity=64 * 1024).translate(self.SOURCE)
+        on = run_rcce(translated_on.unit, 4).cycles
+
+        assert on < split < off

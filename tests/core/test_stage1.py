@@ -1,0 +1,227 @@
+"""Stage 1 (variable scope analysis) tests."""
+
+import pytest
+
+from repro.core.framework import TranslationFramework
+from repro.core.varinfo import Sharing
+
+
+def analyze(source):
+    return TranslationFramework().analyze(source).variables
+
+
+class TestScopeClassification:
+    def test_global_vs_local(self):
+        table = analyze("""
+        int g;
+        void f(void) { int l; l = g; }
+        int main(void) { return 0; }
+        """)
+        assert table.get_exact("g", None).scope_kind == "global"
+        assert table.get_exact("l", "f").scope_kind == "local"
+
+    def test_params_recorded(self):
+        table = analyze("void f(int a, double b) { } "
+                        "int main(void) { return 0; }")
+        assert table.get_exact("a", "f").scope_kind == "param"
+        assert table.get_exact("b", "f").ctype.name == "double"
+
+    def test_globals_marked_shared_after_stage1(self):
+        table = analyze("int g; int main(void) { return g; }")
+        info = table.get_exact("g", None)
+        assert info.sharing_history[1] is Sharing.TRUE
+
+    def test_locals_null_after_stage1(self):
+        table = analyze("int main(void) { int l = 0; return l; }")
+        info = table.get_exact("l", "main")
+        assert info.sharing_history[1] is Sharing.NULL
+
+    def test_nested_block_locals_found(self):
+        table = analyze("int main(void) { { int inner = 1; } return 0; }")
+        assert table.get_exact("inner", "main") is not None
+
+    def test_typedefs_not_variables(self):
+        table = analyze("typedef int myint; int main(void) { return 0; }")
+        assert table.get_exact("myint", None) is None
+
+
+class TestAccessCounting:
+    """The documented counting rules (see repro/core/accesses.py)."""
+
+    def source(self, body):
+        return "int g; int arr[4];\nint main(void) { %s return 0; }" % body
+
+    def test_plain_read(self):
+        table = analyze(self.source("int x = g;"))
+        assert table.get_exact("g", None).read_count == 1
+        assert table.get_exact("g", None).write_count == 0
+
+    def test_plain_write(self):
+        table = analyze(self.source("g = 1;"))
+        info = table.get_exact("g", None)
+        assert (info.read_count, info.write_count) == (0, 1)
+
+    def test_compound_assign_reads_and_writes(self):
+        table = analyze(self.source("g += 2;"))
+        info = table.get_exact("g", None)
+        assert (info.read_count, info.write_count) == (1, 1)
+
+    def test_increment_reads_and_writes(self):
+        table = analyze(self.source("g++;"))
+        info = table.get_exact("g", None)
+        assert (info.read_count, info.write_count) == (1, 1)
+
+    def test_local_decl_init_is_a_write(self):
+        table = analyze(self.source("int x = 1;"))
+        info = table.get_exact("x", "main")
+        assert info.write_count == 1
+
+    def test_global_initializer_not_a_runtime_write(self):
+        table = analyze("int g = 5; int main(void) { return 0; }")
+        assert table.get_exact("g", None).write_count == 0
+
+    def test_array_write_counts_base_and_index(self):
+        table = analyze(self.source("int i = 0; arr[i] = 1;"))
+        arr = table.get_exact("arr", None)
+        i = table.get_exact("i", "main")
+        assert (arr.read_count, arr.write_count) == (0, 1)
+        assert i.read_count == 1
+
+    def test_address_of_is_a_read(self):
+        table = analyze(self.source("int *p = &g;"))
+        assert table.get_exact("g", None).read_count == 1
+
+    def test_deref_write_reads_pointer(self):
+        table = analyze("int *p;\nint main(void) { *p = 3; return 0; }")
+        info = table.get_exact("p", None)
+        assert (info.read_count, info.write_count) == (1, 0)
+
+    def test_call_args_are_reads(self):
+        table = analyze("""
+        int helper(int v) { return v; }
+        int main(void) { int x = 1; helper(x); return 0; }
+        """)
+        assert table.get_exact("x", "main").read_count == 1
+
+    def test_function_name_not_counted(self):
+        table = analyze("""
+        int helper(void) { return 1; }
+        int main(void) { return helper(); }
+        """)
+        # helper is a function, never enters the variable table
+        assert table.get_exact("helper", None) is None
+
+    def test_use_in_def_in(self):
+        table = analyze("""
+        int g;
+        void w(void) { g = 1; }
+        void r(void) { int x = g; }
+        int main(void) { w(); r(); return 0; }
+        """)
+        info = table.get_exact("g", None)
+        assert info.def_in == {"w"}
+        assert info.use_in == {"r"}
+
+    def test_shadowing_counts_to_inner(self):
+        table = analyze("""
+        int x;
+        int main(void) { int x = 0; x = 1; return 0; }
+        """)
+        assert table.get_exact("x", "main").write_count == 2
+        assert table.get_exact("x", None).write_count == 0
+
+    def test_sizeof_operand_unevaluated(self):
+        table = analyze(self.source("int s = sizeof g;"))
+        assert table.get_exact("g", None).read_count == 0
+
+
+class TestWeightedCounts:
+    def test_loop_multiplies_weight(self):
+        table = analyze("""
+        int g;
+        int main(void) {
+            for (int i = 0; i < 10; i++) { g = i; }
+            return 0;
+        }
+        """)
+        info = table.get_exact("g", None)
+        assert info.write_count == 1        # syntactic
+        assert info.weighted_writes == 10   # trip-weighted
+
+    def test_nested_loops_multiply(self):
+        table = analyze("""
+        int g;
+        int main(void) {
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 5; j++)
+                    g++;
+            return 0;
+        }
+        """)
+        assert table.get_exact("g", None).weighted_writes == 20
+
+    def test_condition_weighted_by_inner_count(self):
+        table = analyze("""
+        int n;
+        int main(void) {
+            for (int i = 0; i < 8; i++) { }
+            return n;
+        }
+        """)
+        i = table.get_exact("i", "main")
+        assert i.weighted_reads >= 8
+
+
+class TestExample41Table:
+    """Table 4.1 for the running example, under the documented rules.
+
+    Three cells differ from the thesis' hand-made table (sum Rd, local
+    Wr, rc Wr) — the thesis numbers are mutually inconsistent; see
+    EXPERIMENTS.md for the cell-by-cell comparison.
+    """
+
+    @pytest.fixture
+    def table(self, example_source):
+        return analyze(example_source)
+
+    def test_global(self, table):
+        info = table.get_exact("global", None)
+        assert (info.read_count, info.write_count) == (0, 0)
+        assert info.use_in == set() and info.def_in == set()
+
+    def test_ptr(self, table):
+        info = table.get_exact("ptr", None)
+        assert (info.read_count, info.write_count) == (1, 1)
+        assert info.use_in == {"tf"}
+        assert info.def_in == {"main"}
+
+    def test_sum(self, table):
+        info = table.get_exact("sum", None)
+        assert info.write_count == 2
+        assert info.use_in == {"tf", "main"}
+        assert info.def_in == {"tf"}
+        assert info.element_count == 3
+        assert info.display_type == "int *"
+
+    def test_tlocal(self, table):
+        info = table.get_exact("tLocal", "tf")
+        assert (info.read_count, info.write_count) == (3, 1)
+
+    def test_tid(self, table):
+        info = table.get_exact("tid", "tf")
+        assert (info.read_count, info.write_count) == (1, 0)
+
+    def test_local_reads(self, table):
+        assert table.get_exact("local", "main").read_count == 8
+
+    def test_tmp(self, table):
+        info = table.get_exact("tmp", "main")
+        assert (info.read_count, info.write_count) == (1, 1)
+
+    def test_threads(self, table):
+        info = table.get_exact("threads", "main")
+        assert (info.read_count, info.write_count) == (2, 0)
+        assert info.element_count == 3
+
+    def test_rc_never_read(self, table):
+        assert table.get_exact("rc", "main").read_count == 0

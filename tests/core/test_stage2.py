@@ -1,0 +1,126 @@
+"""Stage 2 (inter-thread analysis, Algorithm 1) tests."""
+
+from repro.core.framework import TranslationFramework
+from repro.core.varinfo import Sharing, ThreadPresence
+
+
+def analyze(source):
+    return TranslationFramework().analyze(source)
+
+
+LOOP_LAUNCH = """
+#include <pthread.h>
+int shared_data;
+void *tf(void *tid) { shared_data = 1; return 0; }
+int main(void) {
+    pthread_t th[4];
+    for (int i = 0; i < 4; i++)
+        pthread_create(&th[i], 0, tf, (void *)i);
+    return 0;
+}
+"""
+
+SINGLE_LAUNCH = """
+#include <pthread.h>
+int a;
+void *one(void *arg) { a = 1; return 0; }
+int main(void) {
+    pthread_t t;
+    pthread_create(&t, 0, one, 0);
+    return 0;
+}
+"""
+
+TWO_LAUNCHES_SAME_FUNC = """
+#include <pthread.h>
+int a;
+void *tf(void *arg) { a = 1; return 0; }
+int main(void) {
+    pthread_t t1, t2;
+    pthread_create(&t1, 0, tf, 0);
+    pthread_create(&t2, 0, tf, 0);
+    return 0;
+}
+"""
+
+
+class TestLaunchDiscovery:
+    def test_loop_launch_found(self):
+        result = analyze(LOOP_LAUNCH)
+        launches = result.thread_launches
+        assert len(launches) == 1
+        assert launches[0].function_name == "tf"
+        assert launches[0].in_loop
+        assert launches[0].caller == "main"
+
+    def test_thread_functions_set(self):
+        result = analyze(LOOP_LAUNCH)
+        assert result.thread_functions == {"tf"}
+
+    def test_launch_via_address_of(self):
+        result = analyze(SINGLE_LAUNCH.replace("one, 0", "&one, 0"))
+        assert result.thread_functions == {"one"}
+
+    def test_no_pthreads_no_launches(self):
+        result = analyze("int main(void) { return 0; }")
+        assert result.thread_launches == []
+
+
+class TestAlgorithm1:
+    def test_variable_in_multiple_threads_loop(self):
+        result = analyze(LOOP_LAUNCH)
+        info = result.variables.get_exact("shared_data", None)
+        assert info.thread_presence is ThreadPresence.MULTIPLE_THREADS
+
+    def test_variable_in_single_thread(self):
+        result = analyze(SINGLE_LAUNCH)
+        info = result.variables.get_exact("a", None)
+        assert info.thread_presence is ThreadPresence.SINGLE_THREAD
+
+    def test_repeated_launch_counts_as_multiple(self):
+        result = analyze(TWO_LAUNCHES_SAME_FUNC)
+        info = result.variables.get_exact("a", None)
+        assert info.thread_presence is ThreadPresence.MULTIPLE_THREADS
+
+    def test_variable_not_in_thread(self):
+        result = analyze(LOOP_LAUNCH)
+        info = result.variables.get_exact("th", "main")
+        assert info.thread_presence is ThreadPresence.NOT_IN_THREAD
+
+    def test_thread_local_is_in_thread(self):
+        source = LOOP_LAUNCH.replace(
+            "{ shared_data = 1; return 0; }",
+            "{ int mine = 2; shared_data = mine; return 0; }")
+        result = analyze(source)
+        info = result.variables.get_exact("mine", "tf")
+        assert info.thread_presence is ThreadPresence.MULTIPLE_THREADS
+
+
+class TestSharingRefinement:
+    def test_locals_become_private(self):
+        result = analyze(LOOP_LAUNCH)
+        info = result.variables.get_exact("i", "main")
+        assert info.sharing_history[2] is Sharing.FALSE
+
+    def test_thread_function_locals_private(self):
+        source = LOOP_LAUNCH.replace(
+            "{ shared_data = 1; return 0; }",
+            "{ int mine = 2; shared_data = mine; return 0; }")
+        result = analyze(source)
+        info = result.variables.get_exact("mine", "tf")
+        assert info.sharing is Sharing.FALSE
+
+    def test_globals_stay_shared(self):
+        result = analyze(LOOP_LAUNCH)
+        info = result.variables.get_exact("shared_data", None)
+        assert info.sharing_history[2] is Sharing.TRUE
+
+    def test_params_private(self):
+        result = analyze(LOOP_LAUNCH)
+        info = result.variables.get_exact("tid", "tf")
+        assert info.sharing is Sharing.FALSE
+
+    def test_no_null_left_after_stage2(self):
+        result = analyze(LOOP_LAUNCH)
+        assert all(v.sharing is not Sharing.NULL
+                   for v in result.variables)

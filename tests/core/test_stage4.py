@@ -1,0 +1,145 @@
+"""Stage 4 (data partitioning, Algorithm 3) tests, including
+property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront import ctypes
+from repro.core.stage4_partition import (
+    MemoryBank,
+    partition_shared_variables,
+)
+from repro.core.varinfo import Sharing, VariableInfo
+
+
+def var(name, nbytes, weighted=0):
+    info = VariableInfo(name, ctypes.ArrayType(ctypes.CHAR, nbytes),
+                        "global")
+    info.set_sharing(Sharing.TRUE, 1)
+    info.weighted_reads = weighted
+    return info
+
+
+class TestAlgorithm3:
+    def test_everything_fits(self):
+        plan = partition_shared_variables([var("a", 10), var("b", 20)],
+                                          capacity=100)
+        assert plan.fits_entirely_on_chip
+        assert plan.on_chip_bytes == 30
+
+    def test_exact_fit(self):
+        plan = partition_shared_variables([var("a", 60), var("b", 40)],
+                                          capacity=100)
+        assert plan.fits_entirely_on_chip
+
+    def test_overflow_sorts_ascending_by_size(self):
+        # capacity 50: a(10) then b(20) fit, c(40) spills
+        plan = partition_shared_variables(
+            [var("c", 40), var("a", 10), var("b", 20)], capacity=50)
+        assert plan.bank_of("a") is MemoryBank.ON_CHIP
+        assert plan.bank_of("b") is MemoryBank.ON_CHIP
+        assert plan.bank_of("c") is MemoryBank.OFF_CHIP
+
+    def test_greedy_continues_after_spill(self):
+        # d(30) doesn't fit after a+b, but e(5) still does
+        plan = partition_shared_variables(
+            [var("a", 10), var("b", 10), var("d", 30), var("e", 5)],
+            capacity=26)
+        assert plan.bank_of("e") is MemoryBank.ON_CHIP
+        assert plan.bank_of("d") is MemoryBank.OFF_CHIP
+
+    def test_off_chip_only_policy(self):
+        plan = partition_shared_variables([var("a", 1)], capacity=1000,
+                                          policy="off-chip-only")
+        assert plan.bank_of("a") is MemoryBank.OFF_CHIP
+        assert plan.on_chip_bytes == 0
+
+    def test_frequency_policy_prefers_hot_data(self):
+        cold = var("cold", 10, weighted=1)
+        hot = var("hot", 10, weighted=1000)
+        plan = partition_shared_variables([cold, hot], capacity=10,
+                                          policy="frequency")
+        assert plan.bank_of("hot") is MemoryBank.ON_CHIP
+        assert plan.bank_of("cold") is MemoryBank.OFF_CHIP
+
+    def test_size_policy_ignores_frequency(self):
+        small_cold = var("small", 5, weighted=1)
+        big_hot = var("big", 50, weighted=10_000)
+        plan = partition_shared_variables([small_cold, big_hot],
+                                          capacity=20)
+        assert plan.bank_of("small") is MemoryBank.ON_CHIP
+        assert plan.bank_of("big") is MemoryBank.OFF_CHIP
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            partition_shared_variables([var("a", 1)], 10,
+                                       policy="bogus")
+
+    def test_empty_input(self):
+        plan = partition_shared_variables([], capacity=100)
+        assert plan.total_shared_bytes == 0
+        assert plan.fits_entirely_on_chip
+
+    def test_offsets_assigned_contiguously(self):
+        plan = partition_shared_variables([var("a", 8), var("b", 8)],
+                                          capacity=100)
+        offsets = sorted(p.offset for p in plan.on_chip())
+        assert offsets == [0, 8]
+
+    def test_bank_of_unknown_is_none(self):
+        plan = partition_shared_variables([], capacity=10)
+        assert plan.bank_of("ghost") is None
+
+
+# -- property-based invariants ----------------------------------------------
+
+_sizes = st.lists(st.integers(min_value=1, max_value=500),
+                  min_size=0, max_size=30)
+_capacity = st.integers(min_value=0, max_value=2000)
+_policy = st.sampled_from(["size", "frequency", "off-chip-only"])
+
+
+class TestPartitionProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(_sizes, _capacity, _policy)
+    def test_invariants(self, sizes, capacity, policy):
+        variables = [var("v%d" % i, size, weighted=i * 7)
+                     for i, size in enumerate(sizes)]
+        plan = partition_shared_variables(variables, capacity, policy)
+
+        # every variable is placed exactly once
+        assert len(plan.placements) == len(variables)
+
+        # on-chip usage never exceeds capacity (unless everything fit,
+        # in which case Algorithm 3 skips the capacity check by design)
+        if not plan.fits_entirely_on_chip:
+            assert plan.on_chip_bytes <= capacity
+
+        # accounting adds up
+        assert plan.on_chip_bytes + plan.off_chip_bytes == \
+            sum(v.mem_size for v in variables)
+
+        # on-chip offsets are disjoint and within the used range
+        placements = sorted(plan.on_chip(), key=lambda p: p.offset)
+        cursor = 0
+        for placement in placements:
+            assert placement.offset >= cursor
+            cursor = placement.offset + placement.info.mem_size
+        assert cursor == plan.on_chip_bytes
+
+    @settings(max_examples=100, deadline=None)
+    @given(_sizes, _capacity)
+    def test_size_policy_is_greedy_optimal_count(self, sizes, capacity):
+        """Ascending-size greedy maximizes the NUMBER of on-chip
+        variables; verify no off-chip variable could still fit."""
+        variables = [var("v%d" % i, size)
+                     for i, size in enumerate(sizes)]
+        plan = partition_shared_variables(variables, capacity, "size")
+        if plan.fits_entirely_on_chip:
+            return
+        remaining = capacity - plan.on_chip_bytes
+        smallest_off = min((p.info.mem_size for p in plan.off_chip()),
+                           default=None)
+        if smallest_off is not None:
+            assert smallest_off > remaining

@@ -1,0 +1,82 @@
+"""§7.2 extension tests: many-to-one thread-to-core folding."""
+
+import pytest
+
+from repro.bench.programs import benchmark_source
+from repro.core.framework import TranslationFramework
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+
+def folded(source, **kwargs):
+    framework = TranslationFramework(fold_threads=True, **kwargs)
+    return framework.translate(source)
+
+
+class TestFoldedTranslation:
+    def test_fold_loop_emitted(self):
+        source = benchmark_source("pi", nthreads=16, steps=256)
+        result = folded(source)
+        text = result.rcce_source
+        assert "for (tIdx = myID; tIdx < 16; tIdx += RCCE_num_ues())" \
+            in text
+        assert "pi_worker((void *)tIdx);" in text
+
+    def test_unfolded_translation_unchanged(self):
+        source = benchmark_source("pi", nthreads=16, steps=256)
+        result = TranslationFramework().translate(source)
+        assert "tIdx" not in result.rcce_source
+        assert "pi_worker((void *)myID);" in result.rcce_source
+
+    def test_fold_without_constant_trip_falls_back(self):
+        source = """
+        #include <pthread.h>
+        int d[4];
+        void *tf(void *t) { d[(int)t] = 1; return 0; }
+        int main(void) {
+            int n = 4;
+            pthread_t th[4];
+            for (int i = 0; i < n; i++)
+                pthread_create(&th[i], 0, tf, (void *)i);
+            for (int i = 0; i < n; i++)
+                pthread_join(th[i], 0);
+            return 0;
+        }
+        """
+        result = folded(source)
+        assert "tIdx" not in result.rcce_source
+        assert "tf((void *)myID);" in result.rcce_source
+
+
+class TestFoldedExecution:
+    """16 threads on 4 cores must compute the same answers as the
+    16-thread Pthreads original."""
+
+    @pytest.mark.parametrize("name,sizes,cores", [
+        ("pi", {"steps": 512}, 4),
+        ("sum35", {"limit": 512}, 4),
+        ("dot", {"n": 64}, 4),
+        ("stream", {"n": 64}, 2),
+    ])
+    def test_more_threads_than_cores(self, name, sizes, cores):
+        source = benchmark_source(name, nthreads=16, **sizes)
+        baseline = run_pthread_single_core(source)
+        translated = folded(source, partition_policy="off-chip-only")
+        result = run_rcce(translated.unit, cores)
+        lines = result.stdout().strip().splitlines()
+        assert len(lines) == cores
+        assert all(line + "\n" == baseline.stdout() for line in lines)
+
+    def test_single_core_fold_runs_all_threads(self):
+        source = benchmark_source("sum35", nthreads=8, limit=256)
+        baseline = run_pthread_single_core(source)
+        translated = folded(source, partition_policy="off-chip-only")
+        result = run_rcce(translated.unit, 1)
+        assert result.stdout() == baseline.stdout()
+
+    def test_fold_still_parallel(self):
+        """4 cores folding 16 threads beat 1 core folding them."""
+        source = benchmark_source("pi", nthreads=16, steps=2048)
+        translated = folded(source, partition_policy="off-chip-only")
+        one = run_rcce(translated.unit, 1)
+        four = run_rcce(translated.unit, 4)
+        assert one.cycles / four.cycles > 2.5

@@ -1,0 +1,138 @@
+"""Translator robustness on unusual-but-legal program shapes."""
+
+import pytest
+
+from repro.core.framework import TranslationFramework
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+
+def translate_and_run(source, ues=2, **kwargs):
+    baseline = run_pthread_single_core(source)
+    translated = TranslationFramework(**kwargs).translate(source)
+    result = run_rcce(translated.unit, ues)
+    return baseline, translated, result
+
+
+class TestUnusualShapes:
+    def test_launch_through_function_pointer_variable(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int x;
+        void *tf(void *a) { x = 9; return 0; }
+        int main(void) {
+            void *(*fp)(void *) = tf;
+            pthread_t t;
+            pthread_create(&t, 0, fp, 0);
+            pthread_join(t, 0);
+            printf("%d\\n", x);
+            return 0;
+        }
+        """
+        baseline, translated, result = translate_and_run(source)
+        assert baseline.stdout() == "9\n"
+        # the pointer call survives and runs on the designated core
+        assert "fp(0);" in translated.rcce_source
+        assert "9" in result.stdout()
+
+    def test_nested_compound_blocks(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int out[2];
+        void *tf(void *t) { out[(int)t] = 1 + (int)t; return 0; }
+        int main(void) {
+            {
+                pthread_t th[2];
+                {
+                    for (int i = 0; i < 2; i++)
+                        pthread_create(&th[i], 0, tf, (void *)i);
+                }
+                for (int i = 0; i < 2; i++)
+                    pthread_join(th[i], 0);
+            }
+            printf("%d\\n", out[0] + out[1]);
+            return 0;
+        }
+        """
+        baseline, _, result = translate_and_run(source)
+        assert baseline.stdout() == "3\n"
+        assert all(line == "3"
+                   for line in result.stdout().strip().splitlines())
+
+    def test_create_without_assignment_wrapper(self):
+        source = """
+        #include <pthread.h>
+        int v;
+        void *tf(void *t) { v = 5; return 0; }
+        int main(void) {
+            pthread_t t;
+            pthread_create(&t, 0, tf, 0);
+            pthread_join(t, 0);
+            return v;
+        }
+        """
+        _, translated, _ = translate_and_run(source)
+        assert "pthread_create" not in translated.rcce_source
+
+    def test_multiple_join_loops(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int a[2];
+        int b[2];
+        void *ta(void *t) { a[(int)t] = 1; return 0; }
+        void *tb(void *t) { b[(int)t] = 2; return 0; }
+        int main(void) {
+            pthread_t tha[2];
+            pthread_t thb[2];
+            for (int i = 0; i < 2; i++)
+                pthread_create(&tha[i], 0, ta, (void *)i);
+            for (int i = 0; i < 2; i++)
+                pthread_join(tha[i], 0);
+            for (int i = 0; i < 2; i++)
+                pthread_create(&thb[i], 0, tb, (void *)i);
+            for (int i = 0; i < 2; i++)
+                pthread_join(thb[i], 0);
+            printf("%d\\n", a[0] + a[1] + b[0] + b[1]);
+            return 0;
+        }
+        """
+        baseline, translated, result = translate_and_run(source)
+        assert baseline.stdout() == "6\n"
+        assert translated.rcce_source.count("RCCE_barrier") >= 2
+        assert all(line == "6"
+                   for line in result.stdout().strip().splitlines())
+
+    def test_empty_thread_function(self):
+        source = """
+        #include <pthread.h>
+        void *noop(void *t) { return 0; }
+        int main(void) {
+            pthread_t t;
+            pthread_create(&t, 0, noop, 0);
+            pthread_join(t, 0);
+            return 0;
+        }
+        """
+        _, translated, result = translate_and_run(source)
+        assert result.cycles > 0
+
+    def test_thread_arg_expression_kept_when_not_thread_id(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int got;
+        void *tf(void *v) { got = (int)v; return 0; }
+        int main(void) {
+            pthread_t t;
+            pthread_create(&t, 0, tf, (void *)123);
+            pthread_join(t, 0);
+            printf("%d\\n", got);
+            return 0;
+        }
+        """
+        baseline, translated, result = translate_and_run(source)
+        assert baseline.stdout() == "123\n"
+        assert "tf((void *)123);" in translated.rcce_source
+        assert "123" in result.stdout()

@@ -1,0 +1,162 @@
+"""VariableInfo / VariableTable / sharing-status rule tests."""
+
+import pytest
+
+from repro.cfront import ctypes
+from repro.core.varinfo import (
+    Sharing,
+    SharingTransitionError,
+    VariableInfo,
+    VariableTable,
+)
+
+
+def make(name="v", ctype=None, scope="global", function=None):
+    return VariableInfo(name, ctype or ctypes.INT, scope, function)
+
+
+class TestSharingMonotonicity:
+    """Paper §4.1: status may be refined from true to false or false to
+    true ONCE, and never reverts; changes from null are always
+    accepted."""
+
+    def test_null_to_true(self):
+        info = make()
+        info.set_sharing(Sharing.TRUE, 1)
+        assert info.sharing is Sharing.TRUE
+
+    def test_null_to_false(self):
+        info = make()
+        info.set_sharing(Sharing.FALSE, 2)
+        assert info.sharing is Sharing.FALSE
+
+    def test_single_flip_allowed(self):
+        info = make()
+        info.set_sharing(Sharing.TRUE, 1)
+        info.set_sharing(Sharing.FALSE, 3)
+        assert info.sharing is Sharing.FALSE
+
+    def test_second_flip_rejected(self):
+        info = make()
+        info.set_sharing(Sharing.TRUE, 1)
+        info.set_sharing(Sharing.FALSE, 2)
+        with pytest.raises(SharingTransitionError):
+            info.set_sharing(Sharing.TRUE, 3)
+
+    def test_same_value_is_not_a_flip(self):
+        info = make()
+        info.set_sharing(Sharing.TRUE, 1)
+        info.set_sharing(Sharing.TRUE, 2)
+        info.set_sharing(Sharing.FALSE, 3)  # first real flip, fine
+        assert info.sharing is Sharing.FALSE
+
+    def test_reset_to_null_rejected(self):
+        info = make()
+        info.set_sharing(Sharing.TRUE, 1)
+        with pytest.raises(SharingTransitionError):
+            info.set_sharing(Sharing.NULL, 2)
+
+    def test_history_recorded_per_stage(self):
+        info = make()
+        info.set_sharing(Sharing.TRUE, 1)
+        info.record_stage(2)
+        info.set_sharing(Sharing.FALSE, 3)
+        assert info.sharing_history == {
+            1: Sharing.TRUE, 2: Sharing.TRUE, 3: Sharing.FALSE}
+
+    def test_non_enum_rejected(self):
+        with pytest.raises(TypeError):
+            make().set_sharing(True, 1)
+
+
+class TestTable41Columns:
+    def test_array_displays_as_pointer(self):
+        info = make(ctype=ctypes.ArrayType(ctypes.INT, 3))
+        assert info.display_type == "int *"
+        assert info.element_count == 3
+
+    def test_scalar_display(self):
+        info = make(ctype=ctypes.DOUBLE)
+        assert info.display_type == "double"
+        assert info.element_count == 1
+
+    def test_mem_size_array(self):
+        info = make(ctype=ctypes.ArrayType(ctypes.DOUBLE, 4))
+        assert info.mem_size == 32
+
+    def test_mem_size_pointer(self):
+        info = make(ctype=ctypes.PointerType(ctypes.INT))
+        assert info.mem_size == 4
+
+    def test_row_shape(self):
+        info = make("sum", ctypes.ArrayType(ctypes.INT, 3))
+        info.read_count = 2
+        info.use_in.add("tf")
+        row = info.row()
+        assert row["name"] == "sum"
+        assert row["size"] == 3
+        assert row["use_in"] == ["tf"]
+        assert row["def_in"] is None
+
+    def test_weighted_counts_independent(self):
+        info = make()
+        info.read_count = 1
+        info.weighted_reads = 100
+        assert info.access_count == 1
+        assert info.weighted_access_count == 100
+
+
+class TestVariableTable:
+    def test_scoped_lookup_prefers_local(self):
+        table = VariableTable()
+        table.add(make("x", scope="global"))
+        local = make("x", scope="local", function="f")
+        table.add(local)
+        assert table.get("x", "f") is local
+        assert table.get("x") is not local
+
+    def test_global_fallback(self):
+        table = VariableTable()
+        glob = make("g")
+        table.add(glob)
+        assert table.get("g", "f") is glob
+
+    def test_get_exact(self):
+        table = VariableTable()
+        glob = make("x")
+        table.add(glob)
+        assert table.get_exact("x", "f") is None
+        assert table.get_exact("x", None) is glob
+
+    def test_globals_and_locals_split(self):
+        table = VariableTable()
+        table.add(make("g", scope="global"))
+        table.add(make("l", scope="local", function="f"))
+        table.add(make("p", scope="param", function="f"))
+        assert len(table.globals()) == 1
+        assert len(table.locals()) == 2
+
+    def test_shared_sorted_and_filtered(self):
+        table = VariableTable()
+        b = make("b")
+        b.set_sharing(Sharing.TRUE, 1)
+        a = make("a")
+        a.set_sharing(Sharing.TRUE, 1)
+        c = make("c")
+        c.set_sharing(Sharing.FALSE, 1)
+        for info in (b, a, c):
+            table.add(info)
+        assert [v.name for v in table.shared()] == ["a", "b"]
+
+    def test_len_and_iter(self):
+        table = VariableTable()
+        table.add(make("a"))
+        table.add(make("b"))
+        assert len(table) == 2
+        assert {v.name for v in table} == {"a", "b"}
+
+    def test_by_name_across_scopes(self):
+        table = VariableTable()
+        table.add(make("x"))
+        table.add(make("x", scope="local", function="f"))
+        assert len(table.by_name("x")) == 2

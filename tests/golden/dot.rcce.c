@@ -1,0 +1,50 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+double *x;
+double *y;
+double *partial;
+void *dot_worker(void *tid)
+{
+    int id = (int)tid;
+    int chunk = 64 / 8;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int j;
+    double local = 0.0;
+    if (id == 8 - 1)
+    {
+        hi = 64;
+    }
+    for (j = lo; j < hi; j++)
+    {
+        x[j] = 0.5 + j;
+        y[j] = 2.0;
+    }
+    for (j = lo; j < hi; j++)
+    {
+        local += x[j] * y[j];
+    }
+    partial[id] = local;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    x = (double *)RCCE_shmalloc(sizeof(double) * 64);
+    y = (double *)RCCE_shmalloc(sizeof(double) * 64);
+    partial = (double *)RCCE_shmalloc(sizeof(double) * 8);
+    int myID;
+    myID = RCCE_ue();
+    int t;
+    double result = 0.0;
+    dot_worker((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    for (t = 0; t < 8; t++)
+    {
+        result += partial[t];
+    }
+    printf("dot = %.1f\n", result);
+    RCCE_finalize();
+    return (0);
+}

@@ -1,0 +1,27 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+int *ptr;
+int *sum;
+void *tf(void *tid)
+{
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    ptr = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    sum = (int *)RCCE_shmalloc(sizeof(int) * 3);
+    int myID;
+    myID = RCCE_ue();
+    int tmp = 1;
+    ptr = &tmp;
+    tf((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    printf("Sum Array: %d\n", sum[myID]);
+    RCCE_finalize();
+    return (0);
+}

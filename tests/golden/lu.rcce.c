@@ -1,0 +1,70 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+double *mats;
+double *checksum;
+void *lu_worker(void *tid)
+{
+    int id = (int)tid;
+    int m;
+    int i;
+    int j;
+    int k;
+    double factor;
+    double local = 0.0;
+    for (m = id; m < 4; m += 8)
+    {
+        double *mat = &mats[m * 6 * 6];
+        for (i = 0; i < 6; i++)
+        {
+            for (j = 0; j < 6; j++)
+            {
+                if (i == j)
+                {
+                    mat[i * 6 + j] = 6 + 1.0;
+                }
+                else
+                {
+                    mat[i * 6 + j] = 1.0;
+                }
+            }
+        }
+        for (k = 0; k < 6 - 1; k++)
+        {
+            for (i = k + 1; i < 6; i++)
+            {
+                factor = mat[i * 6 + k] / mat[k * 6 + k];
+                mat[i * 6 + k] = factor;
+                for (j = k + 1; j < 6; j++)
+                {
+                    mat[i * 6 + j] = mat[i * 6 + j] - factor * mat[k * 6 + j];
+                }
+            }
+        }
+        for (i = 0; i < 6; i++)
+        {
+            local += mat[i * 6 + i];
+        }
+    }
+    checksum[id] = local;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    mats = (double *)RCCE_shmalloc(sizeof(double) * 144);
+    checksum = (double *)RCCE_shmalloc(sizeof(double) * 8);
+    int myID;
+    myID = RCCE_ue();
+    int t;
+    double total = 0.0;
+    lu_worker((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    for (t = 0; t < 8; t++)
+    {
+        total += checksum[t];
+    }
+    printf("lu checksum = %.4f\n", total);
+    RCCE_finalize();
+    return (0);
+}

@@ -1,0 +1,38 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+double *partial;
+void *pi_worker(void *tid)
+{
+    int id = (int)tid;
+    int i;
+    double x;
+    double sum = 0.0;
+    double step = 1.0 / 256;
+    for (i = id; i < 256; i += 8)
+    {
+        x = (i + 0.5) * step;
+        sum = sum + 4.0 / (1.0 + x * x);
+    }
+    partial[id] = sum;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    partial = (double *)RCCE_shmalloc(sizeof(double) * 8);
+    int myID;
+    myID = RCCE_ue();
+    int t;
+    double pi = 0.0;
+    pi_worker((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    for (t = 0; t < 8; t++)
+    {
+        pi += partial[t];
+    }
+    pi = pi / 256;
+    printf("pi = %.6f\n", pi);
+    RCCE_finalize();
+    return (0);
+}

@@ -1,0 +1,56 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+int *partial;
+void *prime_worker(void *tid)
+{
+    int id = (int)tid;
+    int chunk = 128 / 8;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int i;
+    int j;
+    int prime;
+    int count = 0;
+    if (id == 8 - 1)
+    {
+        hi = 128;
+    }
+    if (lo < 2)
+    {
+        lo = 2;
+    }
+    for (i = lo; i < hi; i++)
+    {
+        prime = 1;
+        for (j = 2; j < i; j++)
+        {
+            if (i % j == 0)
+            {
+                prime = 0;
+                break;
+            }
+        }
+        count += prime;
+    }
+    partial[id] = count;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    partial = (int *)RCCE_shmalloc(sizeof(int) * 8);
+    int myID;
+    myID = RCCE_ue();
+    int t;
+    int total = 0;
+    prime_worker((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    for (t = 0; t < 8; t++)
+    {
+        total += partial[t];
+    }
+    printf("primes = %d\n", total);
+    RCCE_finalize();
+    return (0);
+}

@@ -1,0 +1,68 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+double *a;
+double *b;
+double *c;
+double *checksum;
+void *stream_worker(void *tid)
+{
+    int id = (int)tid;
+    int chunk = 64 / 8;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int j;
+    double local = 0.0;
+    if (id == 8 - 1)
+    {
+        hi = 64;
+    }
+    for (j = lo; j < hi; j++)
+    {
+        a[j] = 1.0 + j;
+        b[j] = 2.0;
+    }
+    for (j = lo; j < hi; j++)
+    {
+        c[j] = a[j];
+    }
+    for (j = lo; j < hi; j++)
+    {
+        b[j] = 3.0 * c[j];
+    }
+    for (j = lo; j < hi; j++)
+    {
+        c[j] = a[j] + b[j];
+    }
+    for (j = lo; j < hi; j++)
+    {
+        a[j] = b[j] + 3.0 * c[j];
+    }
+    for (j = lo; j < hi; j++)
+    {
+        local += a[j];
+    }
+    checksum[id] = local;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    a = (double *)RCCE_shmalloc(sizeof(double) * 64);
+    b = (double *)RCCE_shmalloc(sizeof(double) * 64);
+    c = (double *)RCCE_shmalloc(sizeof(double) * 64);
+    checksum = (double *)RCCE_shmalloc(sizeof(double) * 8);
+    int myID;
+    myID = RCCE_ue();
+    int t;
+    double total = 0.0;
+    stream_worker((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    for (t = 0; t < 8; t++)
+    {
+        total += checksum[t];
+    }
+    printf("stream checksum = %.1f\n", total);
+    RCCE_finalize();
+    return (0);
+}

@@ -1,0 +1,37 @@
+#include <stdio.h>
+#include <RCCE.h>
+
+long *partial;
+void *sum_worker(void *tid)
+{
+    int id = (int)tid;
+    long i;
+    long local_sum = 0;
+    for (i = id; i < 256; i += 8)
+    {
+        if (i % 3 == 0 || i % 5 == 0)
+        {
+            local_sum += i;
+        }
+    }
+    partial[id] = local_sum;
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    partial = (long *)RCCE_shmalloc(sizeof(long) * 8);
+    int myID;
+    myID = RCCE_ue();
+    int t;
+    long total = 0;
+    sum_worker((void *)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    for (t = 0; t < 8; t++)
+    {
+        total += partial[t];
+    }
+    printf("sum35 = %ld\n", total);
+    RCCE_finalize();
+    return (0);
+}

@@ -1,0 +1,213 @@
+"""End-to-end integration: parse -> analyze -> partition -> translate
+-> simulate, for the whole corpus and for tricky program shapes."""
+
+import pytest
+
+from repro.bench.programs import BENCHMARKS, benchmark_source
+from repro.core.framework import TranslationFramework
+from repro.sim.interpreter import InterpreterError
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+TINY = {
+    "pi": {"steps": 128},
+    "sum35": {"limit": 128},
+    "primes": {"limit": 96},
+    "stream": {"n": 64},
+    "dot": {"n": 64},
+    "lu": {"batch": 4, "dim": 5},
+}
+
+
+class TestFullMatrix:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    @pytest.mark.parametrize("policy", ["off-chip-only", "size"])
+    def test_benchmark_correct_under_both_policies(self, name, policy):
+        source = benchmark_source(name, nthreads=8, **TINY[name])
+        baseline = run_pthread_single_core(source)
+        translated = TranslationFramework(
+            partition_policy=policy).translate(source)
+        result = run_rcce(translated.unit, 8)
+        lines = result.stdout().strip().splitlines()
+        assert len(lines) == 8
+        assert all(line + "\n" == baseline.stdout() for line in lines)
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_deterministic_cycles(self, name):
+        source = benchmark_source(name, nthreads=4, **TINY[name])
+        translated = TranslationFramework().translate(source)
+        first = run_rcce(translated.unit, 4)
+        second = run_rcce(translated.unit, 4)
+        assert first.cycles == second.cycles
+        assert first.per_core_cycles == second.per_core_cycles
+
+
+class TestTrickyShapes:
+    def test_create_loop_inside_if(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int out[4];
+        void *tf(void *t) { out[(int)t] = (int)t + 1; return 0; }
+        int main(void) {
+            pthread_t th[4];
+            int enable = 1;
+            if (enable) {
+                for (int i = 0; i < 4; i++)
+                    pthread_create(&th[i], 0, tf, (void *)i);
+            }
+            for (int i = 0; i < 4; i++)
+                pthread_join(th[i], 0);
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += out[i];
+            printf("%d\\n", s);
+            return 0;
+        }
+        """
+        baseline = run_pthread_single_core(source)
+        translated = TranslationFramework().translate(source)
+        result = run_rcce(translated.unit, 4)
+        assert all(line + "\n" == baseline.stdout()
+                   for line in result.stdout().strip().splitlines())
+
+    def test_thread_function_calls_helper_on_shared_data(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int acc[4];
+        void bump(int slot, int amount) { acc[slot] += amount; }
+        void *tf(void *t) {
+            int id = (int)t;
+            for (int i = 0; i < 5; i++) bump(id, i);
+            return 0;
+        }
+        int main(void) {
+            pthread_t th[4];
+            for (int i = 0; i < 4; i++)
+                pthread_create(&th[i], 0, tf, (void *)i);
+            for (int i = 0; i < 4; i++)
+                pthread_join(th[i], 0);
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += acc[i];
+            printf("%d\\n", s);
+            return 0;
+        }
+        """
+        baseline = run_pthread_single_core(source)
+        assert baseline.stdout() == "40\n"
+        translated = TranslationFramework().translate(source)
+        result = run_rcce(translated.unit, 4)
+        assert all(line == "40" for line
+                   in result.stdout().strip().splitlines())
+
+    def test_two_distinct_task_threads(self):
+        """The paper's first parallelism scenario: standalone tasks."""
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int a;
+        int b;
+        void *taskA(void *x) { a = 11; return 0; }
+        void *taskB(void *x) { b = 22; return 0; }
+        int main(void) {
+            pthread_t t1, t2;
+            pthread_create(&t1, 0, taskA, 0);
+            pthread_create(&t2, 0, taskB, 0);
+            pthread_join(t1, 0);
+            pthread_join(t2, 0);
+            printf("%d\\n", a + b);
+            return 0;
+        }
+        """
+        baseline = run_pthread_single_core(source)
+        assert baseline.stdout() == "33\n"
+        translated = TranslationFramework(
+            partition_policy="off-chip-only").translate(source)
+        result = run_rcce(translated.unit, 2)
+        assert all(line == "33" for line
+                   in result.stdout().strip().splitlines())
+
+    def test_mutex_protected_shared_counter_parallel(self):
+        source = """
+        #include <stdio.h>
+        #include <pthread.h>
+        int counter;
+        pthread_mutex_t m;
+        void *inc(void *t) {
+            for (int i = 0; i < 25; i++) {
+                pthread_mutex_lock(&m);
+                counter = counter + 1;
+                pthread_mutex_unlock(&m);
+            }
+            return 0;
+        }
+        int main(void) {
+            pthread_t th[4];
+            pthread_mutex_init(&m, 0);
+            for (int i = 0; i < 4; i++)
+                pthread_create(&th[i], 0, inc, (void *)i);
+            for (int i = 0; i < 4; i++)
+                pthread_join(th[i], 0);
+            printf("%d\\n", counter);
+            return 0;
+        }
+        """
+        baseline = run_pthread_single_core(source)
+        assert baseline.stdout() == "100\n"
+        translated = TranslationFramework(
+            partition_policy="off-chip-only").translate(source)
+        result = run_rcce(translated.unit, 4)
+        assert all(line == "100" for line
+                   in result.stdout().strip().splitlines())
+
+    def test_program_without_threads_runs_everywhere(self):
+        source = """
+        #include <stdio.h>
+        int main(void) { printf("solo\\n"); return 0; }
+        """
+        translated = TranslationFramework().translate(source)
+        result = run_rcce(translated.unit, 3)
+        assert result.stdout() == "solo\n" * 3
+
+
+class TestFailureInjection:
+    def test_runtime_error_in_worker_propagates(self):
+        source = """
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            int *p = 0;
+            return *p;
+        }
+        """
+        with pytest.raises(InterpreterError):
+            run_rcce(source, 2)
+
+    def test_error_does_not_deadlock_other_cores(self):
+        """One core crashing before the barrier must abort the run,
+        not hang the cores already waiting."""
+        source = """
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            if (RCCE_ue() == 0) {
+                int z = 0;
+                int bad = 1 / z;
+            }
+            RCCE_barrier(&RCCE_COMM_WORLD);
+            return 0;
+        }
+        """
+        with pytest.raises(InterpreterError):
+            run_rcce(source, 4)
+
+    def test_step_limit_enforced_per_core(self):
+        source = """
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            while (1) { }
+            return 0;
+        }
+        """
+        with pytest.raises(InterpreterError):
+            run_rcce(source, 2, max_steps=5000)

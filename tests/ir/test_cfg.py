@@ -1,0 +1,117 @@
+"""Control-flow graph construction tests."""
+
+from repro.cfront import c_ast
+from repro.cfront.parser import parse
+from repro.ir.cfg import build_cfg
+
+
+def cfg_for(body):
+    unit = parse("void f(int x) { %s }" % body)
+    return build_cfg(unit.functions()[0])
+
+
+def edge_labels(cfg):
+    labels = set()
+    for block in cfg.blocks:
+        for _, label in block.successors:
+            if label:
+                labels.add(label)
+    return labels
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = cfg_for("x = 1; x = 2;")
+        reachable = cfg.reachable_blocks()
+        statements = [s for b in reachable for s in b.statements]
+        assert len(statements) == 2
+
+    def test_entry_reaches_exit(self):
+        cfg = cfg_for("x = 1;")
+        assert cfg.exit in cfg.reachable_blocks()
+
+    def test_empty_function(self):
+        cfg = cfg_for("")
+        assert cfg.exit in cfg.reachable_blocks()
+
+
+class TestBranches:
+    def test_if_creates_diamond(self):
+        cfg = cfg_for("if (x) { x = 1; } else { x = 2; } x = 3;")
+        assert "true" in edge_labels(cfg)
+        assert "false" in edge_labels(cfg)
+
+    def test_if_without_else(self):
+        cfg = cfg_for("if (x) x = 1; x = 2;")
+        assert "false" in edge_labels(cfg)
+
+    def test_return_edges_to_exit(self):
+        cfg = cfg_for("if (x) return; x = 1;")
+        assert "return" in edge_labels(cfg)
+
+    def test_code_after_return_unreachable(self):
+        cfg = cfg_for("return; x = 1;")
+        reachable = cfg.reachable_blocks()
+        reachable_stmts = [s for b in reachable for s in b.statements
+                           if isinstance(s, c_ast.ExprStmt)]
+        assert reachable_stmts == []
+
+
+class TestLoops:
+    def test_while_back_edge(self):
+        cfg = cfg_for("while (x) { x = x - 1; }")
+        assert "back" in edge_labels(cfg)
+
+    def test_for_back_edge(self):
+        cfg = cfg_for("for (x = 0; x < 3; x++) { }")
+        assert "back" in edge_labels(cfg)
+
+    def test_do_while(self):
+        cfg = cfg_for("do { x--; } while (x);")
+        assert "back" in edge_labels(cfg)
+
+    def test_break_leaves_loop(self):
+        cfg = cfg_for("while (1) { break; } x = 1;")
+        assert "break" in edge_labels(cfg)
+        # the statement after the loop must be reachable
+        stmts = [s for b in cfg.reachable_blocks() for s in b.statements
+                 if isinstance(s, c_ast.ExprStmt)]
+        assert len(stmts) == 1
+
+    def test_continue_edge(self):
+        cfg = cfg_for("while (x) { continue; }")
+        assert "continue" in edge_labels(cfg)
+
+    def test_infinite_for_no_false_edge(self):
+        cfg = cfg_for("for (;;) { x = 1; }")
+        # no cond -> only the true edge into the body
+        head_edges = [lab for b in cfg.blocks
+                      for _, lab in b.successors if lab == "false"]
+        assert head_edges == []
+
+
+class TestSwitchAndGoto:
+    def test_switch_case_edges(self):
+        cfg = cfg_for("switch (x) { case 1: x = 1; break; "
+                      "default: x = 0; }")
+        assert "case" in edge_labels(cfg)
+
+    def test_switch_without_default_has_nomatch(self):
+        cfg = cfg_for("switch (x) { case 1: break; } x = 9;")
+        assert "nomatch" in edge_labels(cfg)
+
+    def test_goto_forward(self):
+        cfg = cfg_for("goto out; x = 1; out: x = 2;")
+        assert "goto" in edge_labels(cfg)
+
+
+class TestRPO:
+    def test_rpo_starts_at_entry(self):
+        cfg = cfg_for("if (x) { x = 1; } x = 2;")
+        order = cfg.rpo()
+        assert order[0] is cfg.entry
+
+    def test_rpo_covers_reachable(self):
+        cfg = cfg_for("while (x) { if (x) { x = 1; } }")
+        assert set(b.index for b in cfg.rpo()) == \
+            set(b.index for b in cfg.reachable_blocks())

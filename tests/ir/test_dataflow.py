@@ -1,0 +1,99 @@
+"""Generic dataflow solver tests (reaching-constants toy analysis)."""
+
+import pytest
+
+from repro.cfront import c_ast
+from repro.cfront.parser import parse
+from repro.ir.cfg import build_cfg
+from repro.ir.dataflow import ForwardDataflow
+
+
+class ConstProp(ForwardDataflow):
+    """Toy constant propagation: maps names to (const value | '?')."""
+
+    def initial(self):
+        return {}
+
+    def boundary(self):
+        return {}
+
+    def merge(self, a, b):
+        merged = dict(a)
+        for name, value in b.items():
+            if name in merged and merged[name] != value:
+                merged[name] = "?"
+            else:
+                merged.setdefault(name, value)
+        return merged
+
+    def transfer(self, block, value):
+        state = dict(value)
+        for stmt in block.statements:
+            if isinstance(stmt, tuple):
+                continue
+            if isinstance(stmt, c_ast.ExprStmt) and \
+                    isinstance(stmt.expr, c_ast.Assignment):
+                assign = stmt.expr
+                if isinstance(assign.lvalue, c_ast.Id):
+                    if isinstance(assign.rvalue, c_ast.Constant):
+                        state[assign.lvalue.name] = assign.rvalue.value
+                    else:
+                        state[assign.lvalue.name] = "?"
+        return state
+
+
+def solve(body):
+    unit = parse("void f(int p) { %s }" % body)
+    cfg = build_cfg(unit.functions()[0])
+    solution = ConstProp().solve(cfg)
+    return solution[cfg.exit.index][0]  # in-state at exit
+
+
+class TestFixpoint:
+    def test_straight_line(self):
+        assert solve("x = 1; y = 2;") == {"x": 1, "y": 2}
+
+    def test_reassignment(self):
+        assert solve("x = 1; x = 5;")["x"] == 5
+
+    def test_branch_merge_conflicting(self):
+        state = solve("if (p) { x = 1; } else { x = 2; }")
+        assert state["x"] == "?"
+
+    def test_branch_merge_agreeing(self):
+        state = solve("if (p) { x = 7; } else { x = 7; }")
+        assert state["x"] == 7
+
+    def test_one_sided_branch(self):
+        # x defined on only one path: still visible, merged as-is
+        state = solve("if (p) { x = 3; }")
+        assert state["x"] == 3
+
+    def test_loop_invariant(self):
+        state = solve("x = 4; while (p) { y = x; }")
+        assert state["x"] == 4
+
+    def test_loop_varying(self):
+        state = solve("x = 0; while (p) { x = 1; }")
+        assert state["x"] == "?"
+
+    def test_nonconvergence_guard(self):
+        class Diverging(ForwardDataflow):
+            MAX_ITERATIONS = 5
+
+            def initial(self):
+                return 0
+
+            def boundary(self):
+                return 0
+
+            def merge(self, a, b):
+                return max(a, b)
+
+            def transfer(self, block, value):
+                return value + 1  # grows forever around the loop
+
+        unit = parse("void f(int p) { while (p) { p = p; } }")
+        cfg = build_cfg(unit.functions()[0])
+        with pytest.raises(RuntimeError):
+            Diverging().solve(cfg)

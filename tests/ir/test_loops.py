@@ -1,0 +1,99 @@
+"""Loop analysis tests: nesting depth and trip-count estimation."""
+
+from repro.cfront import c_ast
+from repro.cfront.parser import parse
+from repro.ir.loops import (
+    DEFAULT_TRIP_COUNT,
+    estimate_trip_count,
+    find_loops,
+    loop_depth_map,
+)
+
+
+def first_loop(body):
+    unit = parse("void f(int n) { %s }" % body)
+    for node in c_ast.walk(unit):
+        if isinstance(node, (c_ast.For, c_ast.While, c_ast.DoWhile)):
+            return node
+    raise AssertionError("no loop found")
+
+
+class TestTripCount:
+    def test_canonical_ascending(self):
+        loop = first_loop("for (int i = 0; i < 10; i++) ;")
+        assert estimate_trip_count(loop) == (10, True)
+
+    def test_inclusive_bound(self):
+        loop = first_loop("for (int i = 0; i <= 10; i++) ;")
+        assert estimate_trip_count(loop) == (11, True)
+
+    def test_nonzero_start(self):
+        loop = first_loop("for (int i = 2; i < 10; i++) ;")
+        assert estimate_trip_count(loop) == (8, True)
+
+    def test_step(self):
+        loop = first_loop("for (int i = 0; i < 10; i += 3) ;")
+        assert estimate_trip_count(loop) == (4, True)
+
+    def test_descending(self):
+        loop = first_loop("for (int i = 9; i >= 0; i--) ;")
+        assert estimate_trip_count(loop) == (10, True)
+
+    def test_assignment_style_init(self):
+        loop = first_loop("int i; for (i = 0; i < 5; i++) ;")
+        assert estimate_trip_count(loop) == (5, True)
+
+    def test_zero_trips(self):
+        loop = first_loop("for (int i = 5; i < 5; i++) ;")
+        assert estimate_trip_count(loop) == (0, True)
+
+    def test_variable_bound_defaults(self):
+        loop = first_loop("for (int i = 0; i < n; i++) ;")
+        assert estimate_trip_count(loop) == (DEFAULT_TRIP_COUNT, False)
+
+    def test_while_defaults(self):
+        loop = first_loop("while (n) n--;")
+        assert estimate_trip_count(loop) == (DEFAULT_TRIP_COUNT, False)
+
+    def test_nonconstant_step_defaults(self):
+        loop = first_loop("for (int i = 0; i < 10; i += n) ;")
+        assert estimate_trip_count(loop) == (DEFAULT_TRIP_COUNT, False)
+
+
+class TestLoopStructure:
+    def test_find_loops_counts(self):
+        unit = parse("""
+        void f(void) {
+            for (int i = 0; i < 2; i++) {
+                for (int j = 0; j < 3; j++) { }
+            }
+            while (1) { break; }
+        }
+        """)
+        loops = find_loops(unit.functions()[0])
+        assert len(loops) == 3
+        depths = sorted(l.depth for l in loops)
+        assert depths == [0, 0, 1]
+
+    def test_depth_map(self):
+        unit = parse("""
+        void f(int s) {
+            s = 0;
+            for (int i = 0; i < 2; i++) { s = 1; }
+        }
+        """)
+        func = unit.functions()[0]
+        depths = loop_depth_map(func)
+        assigns = [n for n in c_ast.walk(func.body)
+                   if isinstance(n, c_ast.Assignment)]
+        outer = [a for a in assigns if a.rvalue.value == 0][0]
+        inner = [a for a in assigns if a.rvalue.value == 1][0]
+        assert depths[id(outer)] == 0
+        assert depths[id(inner)] == 1
+
+    def test_trip_count_is_constant_flag(self):
+        unit = parse("void f(int n) { for (int i = 0; i < 4; i++) ; "
+                     "for (int j = 0; j < n; j++) ; }")
+        loops = find_loops(unit.functions()[0])
+        assert loops[0].is_constant
+        assert not loops[1].is_constant

@@ -1,0 +1,96 @@
+"""RCCE one-sided put/get tests (the primitives RCCE is built on)."""
+
+import pytest
+
+from repro.sim.runner import run_rcce
+
+
+class TestPutGet:
+    def test_put_then_get_round_trip(self):
+        """Producer puts into its MPB buffer; consumer gets from it —
+        the canonical RCCE data movement (paper §5: 'data moves from
+        one core to another without either core accessing the off-chip
+        shared memory')."""
+        source = """
+        #include <stdio.h>
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            double *mpb = (double *)RCCE_malloc(4 * sizeof(double));
+            double mine[4];
+            double theirs[4];
+            RCCE_FLAG ready;
+            RCCE_flag_alloc(&ready);
+            if (RCCE_ue() == 0) {
+                for (int i = 0; i < 4; i++) mine[i] = 10.0 + i;
+                RCCE_put(mpb, mine, 4 * sizeof(double), 0);
+                RCCE_flag_write(&ready, RCCE_FLAG_SET, 1);
+            } else {
+                RCCE_wait_until(ready, RCCE_FLAG_SET);
+                RCCE_get(theirs, mpb, 4 * sizeof(double), 0);
+                printf("%.1f %.1f\\n", theirs[0], theirs[3]);
+            }
+            RCCE_finalize();
+            return 0;
+        }
+        """
+        result = run_rcce(source, 2)
+        assert "10.0 13.0" in result.stdout()
+
+    def test_put_charges_bulk_cost(self):
+        """One bulk put must be cheaper than word-by-word stores."""
+        bulk_source = """
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            double *mpb = (double *)RCCE_malloc(64 * sizeof(double));
+            double mine[64];
+            RCCE_put(mpb, mine, 64 * sizeof(double), 0);
+            return 0;
+        }
+        """
+        wordwise_source = """
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            double *mpb = (double *)RCCE_malloc(64 * sizeof(double));
+            double mine[64];
+            for (int i = 0; i < 64; i++) mpb[i] = mine[i];
+            return 0;
+        }
+        """
+        bulk = run_rcce(bulk_source, 1)
+        wordwise = run_rcce(wordwise_source, 1)
+        assert bulk.cycles < wordwise.cycles
+
+    def test_get_into_private_buffer(self):
+        source = """
+        #include <stdio.h>
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            int *mpb = (int *)RCCE_malloc(2 * sizeof(int));
+            int local[2];
+            mpb[0] = 3;
+            mpb[1] = 4;
+            RCCE_get(local, mpb, 2 * sizeof(int), RCCE_ue());
+            printf("%d\\n", local[0] * local[1]);
+            RCCE_finalize();
+            return 0;
+        }
+        """
+        result = run_rcce(source, 1)
+        assert result.stdout() == "12\n"
+
+    def test_put_with_bad_pointer_returns_error(self):
+        source = """
+        #include <stdio.h>
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            printf("%d\\n", RCCE_put(0, 0, 16, 0));
+            return 0;
+        }
+        """
+        result = run_rcce(source, 1)
+        assert result.stdout() == "-1\n"

@@ -1,0 +1,118 @@
+"""Cache model tests, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scc.cache import Cache
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = Cache(1024, 32, 2)
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = Cache(1024, 32, 2)
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_same_line_hits(self):
+        cache = Cache(1024, 32, 2)
+        cache.access(0)
+        assert cache.access(31) is True    # same 32B line
+        assert cache.access(32) is False   # next line
+
+    def test_geometry(self):
+        cache = Cache(1024, 32, 2)
+        assert cache.num_sets == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 32, 3)
+
+    def test_stats(self):
+        cache = Cache(1024, 32, 2)
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_invalidate_all(self):
+        cache = Cache(1024, 32, 2)
+        cache.access(0)
+        cache.invalidate_all()
+        assert cache.access(0) is False
+
+
+class TestLRU:
+    def make(self):
+        # 2 ways, 1 set: line size 32, size 64
+        return Cache(64, 32, 2)
+
+    def test_eviction_of_lru(self):
+        cache = self.make()
+        cache.access(0)      # A
+        cache.access(64)     # B (same set)
+        cache.access(128)    # C evicts A
+        assert cache.contains(64)
+        assert not cache.contains(0)
+
+    def test_touch_refreshes_lru(self):
+        cache = self.make()
+        cache.access(0)      # A
+        cache.access(64)     # B
+        cache.access(0)      # touch A
+        cache.access(128)    # C evicts B (now LRU)
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_eviction_counted(self):
+        cache = self.make()
+        for addr in (0, 64, 128):
+            cache.access(addr)
+        assert cache.stats.evictions == 1
+
+
+class TestStreaming:
+    def test_sequential_stream_hit_rate(self):
+        """Sequential access over a large array: 1 miss per line."""
+        cache = Cache(1024, 32, 2)
+        for addr in range(0, 8192, 4):
+            cache.access(addr)
+        assert cache.stats.misses == 8192 // 32
+        assert cache.stats.hits == 8192 // 4 - 8192 // 32
+
+    def test_working_set_fits(self):
+        cache = Cache(1024, 32, 4)
+        for _ in range(3):
+            for addr in range(0, 512, 4):
+                cache.access(addr)
+        # after the first pass everything hits
+        assert cache.stats.misses == 512 // 32
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100_000),
+                    min_size=1, max_size=300))
+    def test_occupancy_bounded_and_repeat_hits(self, addresses):
+        cache = Cache(512, 32, 2)
+        for addr in addresses:
+            cache.access(addr)
+        for cache_set in cache.sets.values():
+            assert len(cache_set) <= cache.assoc
+        assert all(0 <= index < cache.num_sets for index in cache.sets)
+        # immediate re-access of the last address always hits
+        assert cache.access(addresses[-1]) is True
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=200))
+    def test_stats_account_for_every_access(self, addresses):
+        cache = Cache(256, 16, 2)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.stats.accesses == len(addresses)

@@ -1,0 +1,130 @@
+"""Assembled chip timing-model tests: the latency ordering that drives
+every figure in the paper."""
+
+import pytest
+
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig
+from repro.scc.memmap import SegmentKind
+
+
+@pytest.fixture
+def chip():
+    return SCCChip(SCCConfig())
+
+
+class TestPrivatePath:
+    def test_cold_then_warm(self, chip):
+        segment = chip.address_space.alloc_private(0, 64)
+        cold = chip.access_cost(0, segment.base)
+        warm = chip.access_cost(0, segment.base)
+        assert cold > warm
+        assert warm == chip.config.l1_hit_cycles
+
+    def test_l2_hit_between_l1_and_dram(self, chip):
+        segment = chip.address_space.alloc_private(0, 64)
+        chip.access_cost(0, segment.base)          # fill L1+L2
+        # blow L1 (8 KB, 2-way): touch 16 KB of other data
+        filler = chip.address_space.alloc_private(0, 16 * 1024)
+        for offset in range(0, 16 * 1024, 32):
+            chip.access_cost(0, filler.base + offset)
+        cost = chip.access_cost(0, segment.base)
+        assert cost == chip.config.l2_hit_cycles
+
+    def test_accesses_counted_per_segment(self, chip):
+        segment = chip.address_space.alloc_private(0, 64)
+        chip.access_cost(0, segment.base)
+        assert chip.cores[0].accesses[SegmentKind.PRIVATE] == 1
+
+
+class TestSharedPath:
+    def test_shared_never_cached(self, chip):
+        segment = chip.address_space.alloc_shared(64)
+        first = chip.access_cost(0, segment.base)
+        second = chip.access_cost(0, segment.base)
+        assert first == second          # no caching, ever
+        assert second > chip.config.l2_hit_cycles
+
+    def test_contention_raises_cost(self, chip):
+        segment = chip.address_space.alloc_shared(64)
+        base = chip.access_cost(0, segment.base)
+        for core in range(8):           # 8 cores on controller 0's quad
+            chip.activate_core(core)
+        contended = chip.access_cost(0, segment.base)
+        assert contended > base
+
+    def test_distance_to_controller_matters(self, chip):
+        segment = chip.address_space.alloc_shared(64)
+        near = chip.access_cost(0, segment.base)    # tile (0,0), ctrl 0
+        far = chip.access_cost(4, segment.base)     # tile (2,0), 2 hops
+        assert far > near
+
+
+class TestMPBPath:
+    def test_mpb_cheaper_than_shared_dram(self, chip):
+        shared = chip.address_space.alloc_shared(64)
+        mpb = chip.address_space.alloc_mpb(64)
+        shared_cost = chip.access_cost(5, shared.base)
+        mpb_cost = chip.access_cost(5, mpb.base, "write")
+        assert mpb_cost < shared_cost
+
+    def test_mpb_reads_cache_in_l1(self, chip):
+        mpb = chip.address_space.alloc_mpb(64)
+        cold = chip.access_cost(0, mpb.base, "read")
+        warm = chip.access_cost(0, mpb.base, "read")
+        assert warm == chip.config.l1_hit_cycles
+        assert cold > warm
+
+    def test_latency_hierarchy(self, chip):
+        """The core ordering of the paper: L1 < MPB < shared DRAM."""
+        private = chip.address_space.alloc_private(0, 64)
+        mpb = chip.address_space.alloc_mpb(64)
+        shared = chip.address_space.alloc_shared(64)
+        chip.access_cost(0, private.base)
+        l1 = chip.access_cost(0, private.base)
+        mpb_cost = chip.access_cost(0, mpb.base, "write")
+        shared_cost = chip.access_cost(0, shared.base)
+        assert l1 < mpb_cost < shared_cost
+
+
+class TestSyncCosts:
+    def test_barrier_scales_with_cores(self, chip):
+        assert chip.barrier_cost(32) > chip.barrier_cost(2)
+
+    def test_lock_cost_scales_with_distance(self, chip):
+        near = chip.lock_cost(0, 0)
+        far = chip.lock_cost(0, 47)
+        assert far > near
+
+    def test_activate_deactivate_roundtrip(self, chip):
+        chip.activate_core(0)
+        controller = chip.controllers[chip.mesh.controller_of(0)]
+        assert 0 in controller.active_requesters
+        chip.deactivate_core(0)
+        assert 0 not in controller.active_requesters
+
+
+class TestPowerModel:
+    def test_endpoint_calibration(self, chip):
+        power = chip.power
+        assert power.operating_point_power(0.70, 125) == \
+            pytest.approx(25.0)
+        assert power.operating_point_power(1.14, 1000) == \
+            pytest.approx(125.0)
+
+    def test_chip_power_between_endpoints(self, chip):
+        watts = chip.power.chip_power_watts()
+        assert 25.0 <= watts <= 125.0
+
+    def test_lowering_one_domain_lowers_power(self, chip):
+        before = chip.power.chip_power_watts()
+        chip.power.set_domain_frequency(0, 125, voltage=0.70)
+        assert chip.power.chip_power_watts() < before
+
+    def test_chipwide_frequency_change(self, chip):
+        chip.power.set_chip_frequency(125, voltage=0.70)
+        assert chip.power.chip_power_watts() == pytest.approx(25.0)
+
+    def test_domain_of_tile(self, chip):
+        domain = chip.power.domain_of_tile(0)
+        assert 0 in domain.tiles

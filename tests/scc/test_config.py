@@ -1,0 +1,62 @@
+"""SCC configuration tests (Table 6.1)."""
+
+import pytest
+
+from repro.scc.config import (
+    MAX_OPERATING_POINT,
+    MIN_OPERATING_POINT,
+    SCCConfig,
+    Table61Config,
+)
+
+
+class TestDefaults:
+    def test_geometry(self):
+        config = SCCConfig()
+        assert config.num_cores == 48
+        assert config.num_tiles == 24
+        assert config.cores_per_tile == 2
+
+    def test_table_6_1_frequencies(self):
+        config = Table61Config()
+        assert config.core_freq_mhz == 800
+        assert config.mesh_freq_mhz == 1600
+        assert config.dram_freq_mhz == 1066
+
+    def test_mpb_sizes(self):
+        config = SCCConfig()
+        assert config.mpb_bytes_per_core == 8 * 1024
+        assert config.mpb_total_bytes == 384 * 1024
+
+    def test_operating_envelope(self):
+        assert MIN_OPERATING_POINT.voltage == pytest.approx(0.70)
+        assert MIN_OPERATING_POINT.power_watts == 25
+        assert MAX_OPERATING_POINT.freq_mhz == 1000
+        assert MAX_OPERATING_POINT.power_watts == 125
+
+    def test_seconds_from_cycles(self):
+        config = Table61Config()
+        assert config.seconds_from_cycles(800 * 10 ** 6) == \
+            pytest.approx(1.0)
+
+    def test_table_6_1_rows(self):
+        rows = Table61Config().table_6_1(execution_units=32)
+        by_param = {row["parameter"]: row for row in rows}
+        assert by_param["Core Frequency"]["rcce"] == "800 MHz"
+        assert by_param["Communication Network"]["pthreads"] == "1600 MHz"
+        assert by_param["Off-chip Memory"]["rcce"] == "1066 MHz"
+        assert by_param["Execution Units"]["rcce"] == "32 cores"
+        assert by_param["Execution Units"]["pthreads"] == "32 threads"
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            SCCConfig(num_cores=100)
+
+    def test_zero_controllers_rejected(self):
+        with pytest.raises(ValueError):
+            SCCConfig(num_memory_controllers=0)
+
+    def test_overrides(self):
+        config = SCCConfig(core_freq_mhz=533, l1_size=4096)
+        assert config.core_freq_mhz == 533
+        assert config.l1_size == 4096

@@ -1,0 +1,125 @@
+"""LUT (per-core page table) tests."""
+
+import pytest
+
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig
+from repro.scc.lut import NUM_ENTRIES, WINDOW_BYTES, LookupTable
+from repro.scc.memmap import (
+    MPB_BASE,
+    PRIVATE_BASE,
+    PRIVATE_WINDOW,
+    SHARED_BASE,
+    SegmentKind,
+)
+from repro.scc.mesh import Mesh
+
+
+@pytest.fixture
+def chip():
+    return SCCChip(SCCConfig())
+
+
+@pytest.fixture
+def lut(chip):
+    return chip.luts[0]
+
+
+class TestDefaults:
+    def test_private_window_mapped_cacheable(self, lut):
+        addr = PRIVATE_BASE + 100
+        system, entry = lut.translate(addr)
+        assert entry.kind is SegmentKind.PRIVATE
+        assert entry.cacheable
+        assert system == addr
+
+    def test_shared_windows_uncacheable(self, lut):
+        _, entry = lut.translate(SHARED_BASE + 12345)
+        assert entry.kind is SegmentKind.SHARED
+        assert not entry.cacheable
+
+    def test_mpb_window(self, lut):
+        _, entry = lut.translate(MPB_BASE + 16)
+        assert entry.kind is SegmentKind.MPB
+
+    def test_each_core_maps_its_own_private_window(self, chip):
+        lut5 = chip.luts[5]
+        own = PRIVATE_BASE + 5 * PRIVATE_WINDOW
+        _, entry = lut5.translate(own)
+        assert entry.kind is SegmentKind.PRIVATE
+
+    def test_foreign_private_window_unmapped(self, chip):
+        other = PRIVATE_BASE + 7 * PRIVATE_WINDOW
+        with pytest.raises(KeyError):
+            chip.luts[0].translate(other)
+
+    def test_destination_is_nearest_controller(self, chip):
+        mesh = Mesh(chip.config)
+        _, entry = chip.luts[47].translate(
+            PRIVATE_BASE + 47 * PRIVATE_WINDOW)
+        assert entry.destination == mesh.controller_of(47)
+
+    def test_window_granularity(self, lut):
+        first = lut.lookup(SHARED_BASE)
+        same_window = lut.lookup(SHARED_BASE + WINDOW_BYTES - 1)
+        next_window = lut.lookup(SHARED_BASE + WINDOW_BYTES)
+        assert first is same_window
+        assert next_window is not first
+
+    def test_invalid_index_rejected(self, lut):
+        with pytest.raises(ValueError):
+            lut.map_window(NUM_ENTRIES, SegmentKind.SHARED, 0, False, 0)
+
+
+class TestReconfiguration:
+    def test_mark_shared_flips_kind(self, lut):
+        addr = PRIVATE_BASE + 64
+        lut.mark_shared(addr)
+        _, entry = lut.translate(addr)
+        assert entry.kind is SegmentKind.SHARED
+        assert not entry.cacheable
+
+    def test_mark_private_round_trip(self, lut):
+        addr = PRIVATE_BASE + 64
+        lut.mark_shared(addr)
+        lut.mark_private(addr)
+        _, entry = lut.translate(addr)
+        assert entry.kind is SegmentKind.PRIVATE
+        assert entry.cacheable
+
+    def test_chip_honours_reconfigured_window(self, chip):
+        """Flipping a private page to shared makes accesses pay the
+        uncached DRAM cost — the ablation knob for 'what if this data
+        were not cacheable'."""
+        segment = chip.address_space.alloc_private(0, 64)
+        chip.access_cost(0, segment.base)
+        warm = chip.access_cost(0, segment.base)
+        assert warm == chip.config.l1_hit_cycles
+
+        chip.configure_window(0, segment.base, shared=True)
+        uncached = chip.access_cost(0, segment.base)
+        assert uncached > chip.config.l2_hit_cycles
+        # and it stays uncached: no refill happened
+        assert chip.access_cost(0, segment.base) == uncached
+
+    def test_reconfiguration_invalidates_caches(self, chip):
+        segment = chip.address_space.alloc_private(0, 64)
+        chip.access_cost(0, segment.base)
+        chip.configure_window(0, segment.base, shared=True)
+        assert not chip.cores[0].l1.contains(segment.base)
+
+    def test_other_cores_unaffected(self, chip):
+        """LUTs are per-core: core 1's view of shared memory does not
+        change when core 0 remaps a window."""
+        shared = chip.address_space.alloc_shared(64)
+        before = chip.access_cost(1, shared.base)
+        chip.configure_window(0, PRIVATE_BASE, shared=True)
+        assert chip.access_cost(1, shared.base) == before
+
+    def test_flip_back_to_private_recaches(self, chip):
+        segment = chip.address_space.alloc_private(0, 64)
+        chip.configure_window(0, segment.base, shared=True)
+        chip.configure_window(0, segment.base, shared=False)
+        chip.access_cost(0, segment.base)
+        assert chip.access_cost(0, segment.base) == \
+            chip.config.l1_hit_cycles

@@ -1,0 +1,158 @@
+"""DRAM controller, MPB, and address-space tests."""
+
+import pytest
+
+from repro.scc.config import SCCConfig
+from repro.scc.dram import MemoryController
+from repro.scc.memmap import (
+    MPB_BASE,
+    PRIVATE_BASE,
+    SHARED_BASE,
+    AddressSpace,
+    OutOfMemoryError,
+    SegmentKind,
+)
+from repro.scc.mesh import Mesh
+from repro.scc.mpb import MessagePassingBuffer
+
+
+@pytest.fixture
+def config():
+    return SCCConfig()
+
+
+class TestMemoryController:
+    def test_uncontended_cost(self, config):
+        controller = MemoryController(0, config)
+        assert controller.access_cycles("read") == \
+            config.dram_base_cycles
+
+    def test_hops_add_mesh_cycles(self, config):
+        controller = MemoryController(0, config)
+        cost = controller.access_cycles("read", hops=3)
+        assert cost == config.dram_base_cycles + \
+            3 * config.mesh_cycles_per_hop
+
+    def test_queueing_grows_with_requesters(self, config):
+        controller = MemoryController(0, config)
+        for core in range(8):
+            controller.register_requester(core)
+        cost = controller.access_cycles("read")
+        assert cost == config.dram_base_cycles + \
+            7 * config.dram_queue_cycles
+
+    def test_single_requester_no_queue(self, config):
+        controller = MemoryController(0, config)
+        controller.register_requester(0)
+        assert controller.queue_depth == 0
+
+    def test_unregister(self, config):
+        controller = MemoryController(0, config)
+        controller.register_requester(0)
+        controller.register_requester(1)
+        controller.unregister_requester(1)
+        assert controller.queue_depth == 0
+
+    def test_stats_accumulate(self, config):
+        controller = MemoryController(0, config)
+        controller.access_cycles("read")
+        controller.access_cycles("write")
+        assert controller.stats.reads == 1
+        assert controller.stats.writes == 1
+        assert controller.stats.busy_cycles == \
+            2 * config.dram_base_cycles
+
+
+class TestMPB:
+    @pytest.fixture
+    def mpb(self, config):
+        return MessagePassingBuffer(config, Mesh(config))
+
+    def test_local_access_cheapest(self, mpb, config):
+        local = mpb.access_cycles(0, 0, "read")
+        remote = mpb.access_cycles(47, 0, "read")
+        assert local == config.mpb_base_cycles
+        assert remote > local
+
+    def test_owner_of_offset(self, mpb):
+        assert mpb.owner_of_offset(0) == 0
+        assert mpb.owner_of_offset(8 * 1024) == 1
+        assert mpb.owner_of_offset(384 * 1024 - 1) == 47
+
+    def test_offset_out_of_range(self, mpb):
+        with pytest.raises(ValueError):
+            mpb.owner_of_offset(384 * 1024)
+
+    def test_bulk_cheaper_than_words(self, mpb):
+        nbytes = 512
+        word_cost = sum(mpb.access_cycles(0, 0, "read")
+                        for _ in range(nbytes // 4))
+        bulk_cost = mpb.bulk_transfer_cycles(0, 0, nbytes)
+        assert bulk_cost < word_cost
+
+    def test_stats(self, mpb):
+        mpb.access_cycles(0, 0, "read", size=4)
+        mpb.access_cycles(0, 0, "write", size=4)
+        assert mpb.stats.reads == 1
+        assert mpb.stats.writes == 1
+        assert mpb.stats.bytes_moved == 8
+
+
+class TestAddressSpace:
+    @pytest.fixture
+    def space(self, config):
+        return AddressSpace(config)
+
+    def test_private_allocation_per_core(self, space):
+        a = space.alloc_private(0, 64)
+        b = space.alloc_private(1, 64)
+        assert space.classify(a.base) is SegmentKind.PRIVATE
+        assert space.private_owner(a.base) == 0
+        assert space.private_owner(b.base) == 1
+
+    def test_private_bump(self, space):
+        a = space.alloc_private(0, 64)
+        b = space.alloc_private(0, 64)
+        assert b.base >= a.end
+
+    def test_shared_allocation(self, space):
+        segment = space.alloc_shared(128, "arr")
+        assert space.classify(segment.base) is SegmentKind.SHARED
+        assert segment.label == "arr"
+
+    def test_mpb_allocation_and_offset(self, space):
+        segment = space.alloc_mpb(32)
+        assert space.classify(segment.base) is SegmentKind.MPB
+        assert space.mpb_offset(segment.base) == 0
+
+    def test_mpb_exhaustion(self, space, config):
+        space.alloc_mpb(config.mpb_total_bytes - 64)
+        with pytest.raises(OutOfMemoryError):
+            space.alloc_mpb(1024)
+
+    def test_private_window_exhaustion(self, space):
+        with pytest.raises(OutOfMemoryError):
+            space.alloc_private(0, 20 * 1024 * 1024)
+
+    def test_alignment(self, space):
+        a = space.alloc_shared(5)
+        b = space.alloc_shared(5)
+        assert a.base % 8 == 0
+        assert b.base % 8 == 0
+
+    def test_classify_unknown_raises(self, space):
+        with pytest.raises(ValueError):
+            space.classify(0x123)
+
+    def test_segment_contains(self, space):
+        segment = space.alloc_shared(64)
+        assert segment.base in segment
+        assert segment.end not in segment
+
+    def test_free_byte_accounting(self, space, config):
+        before = space.mpb_free_bytes()
+        space.alloc_mpb(64)
+        assert space.mpb_free_bytes() == before - 64
+
+    def test_bases_disjoint(self):
+        assert PRIVATE_BASE < SHARED_BASE < MPB_BASE

@@ -1,0 +1,90 @@
+"""Mesh geometry and routing tests."""
+
+import pytest
+
+from repro.scc.config import SCCConfig
+from repro.scc.mesh import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(SCCConfig())
+
+
+class TestCoordinates:
+    def test_two_cores_per_tile(self, mesh):
+        assert mesh.tile_of(0) == 0
+        assert mesh.tile_of(1) == 0
+        assert mesh.tile_of(2) == 1
+
+    def test_coords_row_major(self, mesh):
+        assert mesh.coords_of(0) == (0, 0)
+        assert mesh.coords_of(10) == (5, 0)   # tile 5, end of row 0
+        assert mesh.coords_of(12) == (0, 1)   # tile 6, start of row 1
+        assert mesh.coords_of(47) == (5, 3)   # last tile
+
+    def test_out_of_range_core(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.coords_of(48)
+        with pytest.raises(ValueError):
+            mesh.hops(-1, 0)
+
+
+class TestRouting:
+    def test_same_tile_zero_hops(self, mesh):
+        assert mesh.hops(0, 1) == 0
+
+    def test_manhattan_distance(self, mesh):
+        assert mesh.hops(0, 10) == 5      # across row 0
+        assert mesh.hops(0, 47) == 8      # corner to corner: 5 + 3
+
+    def test_symmetry(self, mesh):
+        for a, b in [(0, 47), (3, 30), (11, 22)]:
+            assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_triangle_inequality(self, mesh):
+        for a, b, c in [(0, 20, 47), (5, 25, 40)]:
+            assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+    def test_xy_route_goes_x_first(self, mesh):
+        path = mesh.route(0, 47)
+        assert path[0] == (0, 0)
+        assert path[-1] == (5, 3)
+        # x changes to completion before y moves
+        xs = [p[0] for p in path]
+        assert xs[:6] == [0, 1, 2, 3, 4, 5]
+
+    def test_route_length_matches_hops(self, mesh):
+        assert len(mesh.route(0, 47)) == mesh.hops(0, 47) + 1
+
+
+class TestMemoryControllers:
+    def test_controllers_at_corners(self, mesh):
+        assert mesh.controller_coords(0) == (0, 0)
+        assert mesh.controller_coords(1) == (5, 0)
+        assert mesh.controller_coords(2) == (0, 3)
+        assert mesh.controller_coords(3) == (5, 3)
+
+    def test_nearest_controller(self, mesh):
+        assert mesh.controller_of(0) == 0       # tile (0,0)
+        assert mesh.controller_of(10) == 1      # tile (5,0)
+        assert mesh.controller_of(47) == 3      # tile (5,3)
+
+    def test_all_cores_covered(self, mesh):
+        counts = mesh.cores_per_controller()
+        assert sum(counts.values()) == 48
+        # the quadrant mapping is balanced
+        assert all(count == 12 for count in counts.values())
+
+    def test_active_subset(self, mesh):
+        counts = mesh.cores_per_controller(range(32))
+        assert sum(counts.values()) == 32
+        assert max(counts.values()) >= 8  # >= 8 per controller (paper §6)
+
+    def test_hops_to_controller(self, mesh):
+        assert mesh.hops_to_controller(0) == 0
+        assert mesh.hops_to_controller(0, 3) == 8
+
+    def test_invalid_controller(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.controller_coords(4)

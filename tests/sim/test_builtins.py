@@ -1,0 +1,159 @@
+"""libc-subset builtin tests."""
+
+import pytest
+
+from repro.cfront.frontend import parse_program
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig
+from repro.sim.interpreter import Interpreter, ThreadExit
+from repro.sim.machine import Memory
+
+
+def run(source):
+    unit = parse_program(source)
+    chip = SCCChip(SCCConfig())
+    interp = Interpreter(unit, chip, 0, Memory())
+    value = interp.call_function("main", [])
+    return value, interp
+
+
+class TestPrintf:
+    def test_integer_format(self):
+        _, interp = run('int main(void) { printf("v=%d!\\n", 42); '
+                        'return 0; }')
+        assert interp.output == ["v=42!\n"]
+
+    def test_float_formats(self):
+        _, interp = run('int main(void) { printf("%.2f %g", 3.14159, '
+                        '0.5); return 0; }')
+        assert interp.output == ["3.14 0.5"]
+
+    def test_multiple_args_and_percent(self):
+        _, interp = run('int main(void) { printf("%d%%%s", 9, "ok"); '
+                        'return 0; }')
+        assert interp.output == ["9%ok"]
+
+    def test_long_format(self):
+        _, interp = run('int main(void) { long v = 7; '
+                        'printf("%ld", v); return 0; }')
+        assert interp.output == ["7"]
+
+    def test_char_and_hex(self):
+        _, interp = run("int main(void) { printf(\"%c %x\", 65, 255); "
+                        "return 0; }")
+        assert interp.output == ["A ff"]
+
+    def test_puts(self):
+        _, interp = run('int main(void) { puts("hello"); return 0; }')
+        assert interp.output == ["hello\n"]
+
+
+class TestMath:
+    def test_sqrt(self):
+        value, _ = run("int main(void) { return (int)sqrt(144.0); }")
+        assert value == 12
+
+    def test_pow(self):
+        value, _ = run("int main(void) { return (int)pow(2.0, 10.0); }")
+        assert value == 1024
+
+    def test_fabs(self):
+        value, _ = run("int main(void) { return (int)fabs(-2.5) * 2; }")
+        assert value == 4
+
+    def test_trig_identity(self):
+        value, _ = run(
+            "int main(void) { double x = 0.7; "
+            "double r = sin(x) * sin(x) + cos(x) * cos(x); "
+            "return (int)(r * 1000.0 + 0.5); }")
+        assert value == 1000
+
+    def test_math_charges_cycles(self):
+        _, with_math = run(
+            "int main(void) { double s = 0.0; "
+            "for (int i = 0; i < 10; i++) s += sqrt(2.0); return 0; }")
+        _, without = run(
+            "int main(void) { double s = 0.0; "
+            "for (int i = 0; i < 10; i++) s += 1.41; return 0; }")
+        assert with_math.cycles > without.cycles
+
+
+class TestMemoryBuiltins:
+    def test_malloc_gives_usable_memory(self):
+        value, _ = run("""
+        int main(void) {
+            int *p = (int *)malloc(4 * sizeof(int));
+            p[2] = 5;
+            return p[2];
+        }""")
+        assert value == 5
+
+    def test_calloc_zeroes(self):
+        value, _ = run("""
+        int main(void) {
+            int *p = (int *)calloc(8, sizeof(int));
+            return p[7];
+        }""")
+        assert value == 0
+
+    def test_memset(self):
+        value, _ = run("""
+        int main(void) {
+            int a[4];
+            a[0] = 9;
+            memset(a, 0, 4 * sizeof(int));
+            return a[0];
+        }""")
+        assert value == 0
+
+    def test_memcpy(self):
+        value, _ = run("""
+        int main(void) {
+            int src[3];
+            int dst[3];
+            src[1] = 42;
+            memcpy(dst, src, 3 * sizeof(int));
+            return dst[1];
+        }""")
+        assert value == 42
+
+    def test_malloc_allocations_disjoint(self):
+        value, _ = run("""
+        int main(void) {
+            int *a = (int *)malloc(16);
+            int *b = (int *)malloc(16);
+            a[0] = 1;
+            b[0] = 2;
+            return a[0] + b[0] * 10;
+        }""")
+        assert value == 21
+
+
+class TestMisc:
+    def test_rand_deterministic_per_core(self):
+        _, first = run("int main(void) { return rand(); }")
+        _, second = run("int main(void) { return rand(); }")
+        assert first.call_function("main", []) == \
+            second.call_function("main", [])
+
+    def test_srand_reseeds(self):
+        value, _ = run("""
+        int main(void) {
+            srand(7);
+            int a = rand();
+            srand(7);
+            int b = rand();
+            return a == b;
+        }""")
+        assert value == 1
+
+    def test_exit_raises_thread_exit(self):
+        unit = parse_program("int main(void) { exit(3); return 0; }")
+        chip = SCCChip(SCCConfig())
+        interp = Interpreter(unit, chip, 0, Memory())
+        with pytest.raises(ThreadExit):
+            interp.call_function("main", [])
+
+    def test_abs(self):
+        value, _ = run("int main(void) { return abs(-17); }")
+        assert value == 17

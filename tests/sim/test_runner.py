@@ -1,0 +1,92 @@
+"""Runner-level tests (RunResult, core maps, chip reuse)."""
+
+import pytest
+
+from repro.cfront.frontend import parse_program
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig, Table61Config
+from repro.sim.runner import RunResult, run_pthread_single_core, run_rcce
+
+RCCE_PROGRAM = """
+#include <stdio.h>
+#include <RCCE.h>
+int RCCE_APP(int argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    int s = 0;
+    for (int i = 0; i < 100 * (RCCE_ue() + 1); i++) s += i;
+    printf("%d\\n", RCCE_ue());
+    RCCE_finalize();
+    return 0;
+}
+"""
+
+
+class TestRunResult:
+    def test_seconds_property(self):
+        result = RunResult(800_000_000, Table61Config(), ["x"])
+        assert result.seconds == pytest.approx(1.0)
+
+    def test_stdout_joins_output(self):
+        result = RunResult(1, Table61Config(), ["a", "b\n", "c"])
+        assert result.stdout() == "ab\nc"
+
+    def test_repr(self):
+        result = RunResult(1600, Table61Config(), [])
+        assert "1600 cycles" in repr(result)
+
+
+class TestRunRcce:
+    def test_accepts_source_string(self):
+        result = run_rcce(RCCE_PROGRAM, 2)
+        assert sorted(result.stdout().split()) == ["0", "1"]
+
+    def test_accepts_parsed_unit(self):
+        unit = parse_program(RCCE_PROGRAM)
+        result = run_rcce(unit, 2)
+        assert result.stats["num_ues"] == 2
+
+    def test_custom_core_map_changes_physical_cores(self):
+        result = run_rcce(RCCE_PROGRAM, 2, core_map=[10, 40])
+        assert set(result.per_core_cycles) == {10, 40}
+
+    def test_output_ordered_by_core(self):
+        result = run_rcce(RCCE_PROGRAM, 3)
+        assert result.stdout() == "0\n1\n2\n"
+
+    def test_stats_have_barrier_rounds(self):
+        result = run_rcce(RCCE_PROGRAM, 2)
+        assert result.stats["barrier_rounds"] >= 1
+
+    def test_explicit_chip_accumulates_state(self):
+        chip = SCCChip(Table61Config())
+        run_rcce(RCCE_PROGRAM, 2, chip.config, chip)
+        assert any(chip.cores[c].l1.stats.accesses > 0
+                   for c in range(2))
+
+    def test_single_ue(self):
+        result = run_rcce(RCCE_PROGRAM, 1)
+        assert result.stdout() == "0\n"
+
+
+class TestRunPthread:
+    SRC = """
+    #include <stdio.h>
+    int main(void) { printf("hello\\n"); return 42; }
+    """
+
+    def test_exit_value(self):
+        result = run_pthread_single_core(self.SRC)
+        assert result.exit_value == 42
+
+    def test_custom_core(self):
+        result = run_pthread_single_core(self.SRC, core=7)
+        assert list(result.per_core_cycles) == [7]
+
+    def test_custom_config(self):
+        config = SCCConfig(core_freq_mhz=400)
+        result = run_pthread_single_core(self.SRC, config)
+        assert result.config.core_freq_mhz == 400
+
+    def test_cache_stats_present(self):
+        result = run_pthread_single_core(self.SRC)
+        assert "l1" in result.stats["cache"]

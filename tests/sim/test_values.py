@@ -1,0 +1,92 @@
+"""Runtime value tests."""
+
+import pytest
+
+from repro.cfront import ctypes
+from repro.sim.values import (
+    NULL,
+    FunctionRef,
+    Pointer,
+    coerce,
+    default_value,
+    pointer_for,
+)
+
+
+class TestPointer:
+    def test_offset_uses_stride(self):
+        pointer = Pointer(1000, 8)
+        assert pointer.offset(3).addr == 1024
+
+    def test_negative_offset(self):
+        pointer = Pointer(1000, 4)
+        assert pointer.offset(-2).addr == 992
+
+    def test_equality_by_address(self):
+        assert Pointer(100, 4) == Pointer(100, 8)
+        assert Pointer(100, 4) != Pointer(104, 4)
+
+    def test_null_is_falsy(self):
+        assert not NULL
+        assert Pointer(4)
+
+    def test_null_compares_to_zero(self):
+        assert NULL == 0
+
+
+class TestCoerce:
+    def test_float_to_int_truncates(self):
+        assert coerce(ctypes.INT, 3.9) == 3
+
+    def test_int_to_float(self):
+        value = coerce(ctypes.DOUBLE, 7)
+        assert isinstance(value, float)
+        assert value == 7.0
+
+    def test_int_wraps_32_bits(self):
+        assert coerce(ctypes.INT, 2 ** 31) == -(2 ** 31)
+        assert coerce(ctypes.UINT, -1) == 2 ** 32 - 1
+
+    def test_char_wraps_8_bits(self):
+        assert coerce(ctypes.CHAR, 300) == 44
+
+    def test_none_gives_default(self):
+        assert coerce(ctypes.INT, None) == 0
+        assert coerce(ctypes.DOUBLE, None) == 0.0
+
+    def test_pointer_cast_retypes_stride(self):
+        void_ptr = Pointer(64, 1, None)
+        typed = coerce(ctypes.PointerType(ctypes.DOUBLE), void_ptr)
+        assert typed.stride == 8
+        assert typed.addr == 64
+
+    def test_int_to_pointer(self):
+        value = coerce(ctypes.PointerType(ctypes.INT), 0)
+        assert isinstance(value, Pointer)
+        assert value.addr == 0
+
+    def test_pointer_to_int_gives_address(self):
+        assert coerce(ctypes.INT, Pointer(0x40, 4)) == 0x40
+
+    def test_function_ref_through_int_cast_preserved(self):
+        ref = FunctionRef("tf")
+        assert coerce(ctypes.INT, ref) is ref
+
+    def test_void_cast_passthrough(self):
+        assert coerce(ctypes.VOID, 5) == 5
+
+
+class TestHelpers:
+    def test_pointer_for_array(self):
+        pointer = pointer_for(ctypes.ArrayType(ctypes.DOUBLE, 4), 256)
+        assert pointer.stride == 8
+        assert pointer.pointee == ctypes.DOUBLE
+
+    def test_pointer_for_void_pointer(self):
+        pointer = pointer_for(ctypes.VOID_PTR, 256)
+        assert pointer.addr == 256
+
+    def test_default_values(self):
+        assert default_value(ctypes.INT) == 0
+        assert default_value(ctypes.DOUBLE) == 0.0
+        assert default_value(ctypes.INT_PTR) == NULL

@@ -1,0 +1,117 @@
+"""CLI tests (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.bench.programs import EXAMPLE_4_1
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.c"
+    path.write_text(EXAMPLE_4_1)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["translate", "x.c", "--policy", "magic"])
+
+
+class TestTranslate:
+    def test_to_stdout(self, example_file):
+        code, output = run_cli(["translate", example_file])
+        assert code == 0
+        assert "RCCE_APP" in output
+        assert "RCCE_shmalloc" in output or "RCCE_malloc" in output
+
+    def test_to_file(self, example_file, tmp_path):
+        out_path = str(tmp_path / "out.c")
+        code, output = run_cli(
+            ["translate", example_file, "-o", out_path])
+        assert code == 0
+        with open(out_path) as handle:
+            assert "RCCE_init" in handle.read()
+
+    def test_off_chip_policy(self, example_file):
+        _, output = run_cli(["translate", example_file,
+                             "--policy", "off-chip-only"])
+        assert "RCCE_shmalloc" in output
+        assert "RCCE_malloc(" not in output
+
+    def test_capacity_override(self, example_file):
+        # 8 bytes: sum (12 B) must spill off-chip
+        _, output = run_cli(["translate", example_file,
+                             "--capacity", "8"])
+        assert "sum = (int *)RCCE_shmalloc" in output
+
+
+class TestAnalyze:
+    def test_tables_printed(self, example_file):
+        code, output = run_cli(["analyze", example_file])
+        assert code == 0
+        assert "Sharing status per stage" in output
+        assert "tmp" in output
+        assert "Partition plan" in output
+
+    def test_plan_lists_banks(self, example_file):
+        _, output = run_cli(["analyze", example_file,
+                             "--policy", "off-chip-only"])
+        assert "off-chip" in output
+
+
+class TestRun:
+    def test_compare_mode(self, example_file):
+        code, output = run_cli(["run", example_file, "--ues", "3"])
+        assert code == 0
+        assert "pthread x1 core" in output
+        assert "rcce    x3 cores" in output
+        assert "speedup:" in output
+
+    def test_pthread_only(self, example_file):
+        code, output = run_cli(["run", example_file,
+                                "--mode", "pthread"])
+        assert code == 0
+        assert "rcce" not in output
+
+    def test_native_rcce_program(self, tmp_path):
+        path = tmp_path / "native.c"
+        path.write_text("""
+        #include <stdio.h>
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            printf("ue %d\\n", RCCE_ue());
+            return 0;
+        }
+        """)
+        code, output = run_cli(["run", str(path), "--mode", "rcce",
+                                "--ues", "2"])
+        assert code == 0
+        assert "x2 cores" in output
+
+    def test_fold_flag(self, tmp_path):
+        from repro.bench.programs import benchmark_source
+        path = tmp_path / "pi.c"
+        path.write_text(benchmark_source("pi", nthreads=8, steps=128))
+        code, output = run_cli(["run", str(path), "--ues", "2",
+                                "--fold", "--mode", "rcce"])
+        assert code == 0
