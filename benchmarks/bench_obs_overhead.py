@@ -1,0 +1,159 @@
+"""Disabled-mode observability overhead (must stay under 5%).
+
+The instrumentation hooks are guarded by one attribute read
+(``events.enabled``) at every emit site, so a chip with no tracer
+attached — the default — must price memory accesses at effectively the
+pre-instrumentation cost.  This bench replays the pre-PR hot-path
+arithmetic (the seed's ``access_cost`` body, inlined below as plain
+functions over the same components) against today's instrumented
+``SCCChip.access_cost`` in disabled mode, and fails if the instrumented
+path costs more than 1.05x the replica.
+
+Wall-clock comparisons are noisy; both sides are measured as the best
+of several repetitions, which is stable well below the 5% margin.
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig
+from repro.scc.memmap import SegmentKind
+
+ACCESSES = 2_000
+REPEATS = 9
+
+
+def _baseline_access_cost(chip):
+    """The seed's ``access_cost`` (pre-observability), verbatim except
+    for closing over ``chip`` instead of ``self``."""
+    config = chip.config
+    address_space = chip.address_space
+    cores = chip.cores
+    luts = chip.luts
+    reconfigured = chip._reconfigured_cores
+    mesh = chip.mesh
+    controllers = chip.controllers
+    mpb = chip.mpb
+
+    def private_cost(core, state, addr):
+        if state.l1.access(addr):
+            return config.l1_hit_cycles
+        if state.l2.access(addr):
+            return config.l2_hit_cycles
+        controller_id = mesh.controller_of(core)
+        hops = mesh.hops_to_controller(core, controller_id)
+        return controllers[controller_id].access_cycles("read", hops)
+
+    def shared_cost(core, kind):
+        controller_id = mesh.controller_of(core)
+        hops = mesh.hops_to_controller(core, controller_id)
+        if mesh.record_traffic:
+            mesh.record_route(mesh.coords_of(core),
+                              mesh.controller_coords(controller_id))
+        cost = controllers[controller_id].access_cycles(kind, hops)
+        return cost + config.uncached_shared_penalty
+
+    def mpb_cost(core, addr, kind, size):
+        state = cores[core]
+        if kind == "read" and state.l1.access(addr):
+            return config.l1_hit_cycles
+        if kind == "write":
+            state.l1.access(addr)
+        offset = address_space.mpb_offset(addr)
+        if mesh.record_traffic:
+            owner = mpb.owner_of_offset(offset)
+            mesh.record_route(mesh.coords_of(core),
+                              mesh.coords_of(owner))
+        return mpb.access_cycles(core, offset, kind, size)
+
+    def access_cost(core, addr, kind="read", size=4):
+        state = cores[core]
+        segment, physical = address_space.resolve(addr)
+        if core in reconfigured:
+            entry = luts[core].lookup(addr)
+            if entry is not None and entry.kind in (
+                    SegmentKind.PRIVATE, SegmentKind.SHARED):
+                segment = entry.kind
+        state.accesses[segment] += 1
+        if segment is SegmentKind.PRIVATE:
+            return private_cost(core, state, physical)
+        if segment is SegmentKind.SHARED:
+            return shared_cost(core, kind)
+        return mpb_cost(core, physical, kind, size)
+
+    return access_cost
+
+
+def _workload(chip):
+    """A deterministic private/shared/MPB access mix."""
+    private = chip.address_space.alloc_private(0, 4096)
+    shared = chip.address_space.alloc_shared(4096)
+    mpb = chip.address_space.alloc_mpb(256)
+    accesses = []
+    for index in range(ACCESSES):
+        bucket = index % 8
+        if bucket < 5:
+            accesses.append((private.base + (index * 4) % 4096,
+                             "read", 4))
+        elif bucket < 7:
+            accesses.append((shared.base + (index * 4) % 4096,
+                             "write", 4))
+        else:
+            accesses.append((mpb.base + (index * 4) % 256, "read", 4))
+    return accesses
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_mode_overhead_under_5_percent(results_dir):
+    chip = SCCChip(SCCConfig())
+    accesses = _workload(chip)
+    baseline_cost = _baseline_access_cost(chip)
+    instrumented_cost = chip.access_cost
+    assert not chip.events.enabled  # disabled is the default
+
+    def run_baseline():
+        for addr, kind, size in accesses:
+            baseline_cost(0, addr, kind, size)
+
+    def run_instrumented():
+        for addr, kind, size in accesses:
+            instrumented_cost(0, addr, kind, size)
+
+    # prime caches/JIT-free interpreter state identically
+    run_baseline()
+    run_instrumented()
+
+    baseline = _best_of(run_baseline)
+    instrumented = _best_of(run_instrumented)
+    ratio = instrumented / baseline
+    write_result(results_dir, "obs_overhead.txt",
+                 "disabled-mode access_cost: baseline %.1f us, "
+                 "instrumented %.1f us, ratio %.3f"
+                 % (baseline * 1e6, instrumented * 1e6, ratio))
+    assert ratio <= 1.05, (
+        "disabled-mode instrumentation overhead %.1f%% exceeds 5%%"
+        % ((ratio - 1.0) * 100.0))
+
+
+def test_both_paths_price_identically():
+    """The replica and the instrumented path must agree on cycles —
+    otherwise the timing comparison compares different work."""
+    chip_a = SCCChip(SCCConfig())
+    chip_b = SCCChip(SCCConfig())
+    costs_a = [_baseline_access_cost(chip_a)(0, addr, kind, size)
+               for addr, kind, size in _workload(chip_a)]
+    costs_b = [chip_b.access_cost(0, addr, kind, size)
+               for addr, kind, size in _workload(chip_b)]
+    assert costs_a == costs_b

@@ -18,6 +18,7 @@ Public API tour::
 from repro.core.framework import FrameworkResult, TranslationFramework
 from repro.core.varinfo import Sharing, VariableInfo, VariableTable
 from repro.core.stage4_partition import MemoryBank, PartitionPlan
+from repro.obs import EventTracer, MetricsRegistry, PipelineProfiler
 from repro.scc.config import SCCConfig, Table61Config
 from repro.scc.chip import SCCChip
 from repro.sim.runner import (
@@ -45,5 +46,8 @@ __all__ = [
     "run_rcce",
     "ExperimentHarness",
     "BenchmarkRun",
+    "MetricsRegistry",
+    "PipelineProfiler",
+    "EventTracer",
     "__version__",
 ]

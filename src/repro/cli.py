@@ -20,6 +20,9 @@ from repro.bench.figures import render_bars
 from repro.bench.harness import ExperimentHarness
 from repro.core.framework import TranslationFramework
 from repro.core.reports import format_table, table_4_1, table_4_2
+from repro.obs.export import write_chrome_trace, write_metrics_json
+from repro.obs.profile import PipelineProfiler
+from repro.obs.tracer import EventTracer
 from repro.sim.runner import run_pthread_single_core, run_rcce
 
 
@@ -50,6 +53,11 @@ def build_parser():
                      default="compare")
     run.add_argument("--stats", action="store_true",
                      help="print chip counters after the RCCE run")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="write a Chrome trace-event JSON of the "
+                     "simulation (load in chrome://tracing / Perfetto)")
+    run.add_argument("--metrics", default=None, metavar="FILE",
+                     help="write the metrics-registry snapshots as JSON")
     _framework_args(run)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
@@ -69,6 +77,8 @@ def _framework_args(parser):
                         help="enable many-to-one thread folding (§7.2)")
     parser.add_argument("--split", action="store_true",
                         help="allow SRAM/DRAM split allocation (§4.4)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-stage pipeline wall times")
 
 
 def _read_source(path):
@@ -84,18 +94,24 @@ def _framework(args):
               "allow_split": getattr(args, "split", False)}
     if args.capacity is not None:
         kwargs["on_chip_capacity"] = args.capacity
+    if getattr(args, "profile", False):
+        kwargs["profiler"] = PipelineProfiler()
     return TranslationFramework(**kwargs)
 
 
 def cmd_translate(args, out):
     source = _read_source(args.source)
-    result = _framework(args).translate(source)
+    framework = _framework(args)
+    result = framework.translate(source)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(result.rcce_source)
         out.write("wrote %s\n" % args.output)
     else:
         out.write(result.rcce_source)
+    if framework.profiler is not None:
+        # '// ' prefix keeps stdout a valid C translation unit
+        out.write(framework.profiler.render("// ") + "\n")
     return 0
 
 
@@ -103,6 +119,8 @@ def cmd_analyze(args, out):
     source = _read_source(args.source)
     framework = _framework(args)
     result = framework.partition(source)
+    if framework.profiler is not None:
+        out.write(framework.profiler.render() + "\n\n")
     out.write(format_table(
         table_4_1(result),
         title="Per-variable information (post Stage 3)") + "\n\n")
@@ -120,10 +138,21 @@ def cmd_analyze(args, out):
 
 
 def cmd_run(args, out):
+    from repro.scc.chip import SCCChip
+    from repro.scc.config import Table61Config
+
     source = _read_source(args.source)
+    tracer = EventTracer() if getattr(args, "trace", None) else None
+    snapshots = {}
     baseline = None
     if args.mode in ("pthread", "compare"):
-        baseline = run_pthread_single_core(source)
+        pthread_chip = SCCChip(Table61Config())
+        if tracer is not None:
+            pthread_chip.attach_events(tracer, pid=0,
+                                       name="pthread x1 core")
+        baseline = run_pthread_single_core(source, pthread_chip.config,
+                                           pthread_chip)
+        snapshots["pthread"] = baseline.metrics
         out.write("pthread x1 core : %12d cycles  %s\n"
                   % (baseline.cycles,
                      baseline.stdout().strip().splitlines()[:1]))
@@ -132,11 +161,16 @@ def cmd_run(args, out):
             from repro.cfront.frontend import parse_program
             unit = parse_program(source)
         else:
-            unit = _framework(args).translate(source).unit
-        from repro.scc.chip import SCCChip
-        from repro.scc.config import Table61Config
+            framework = _framework(args)
+            unit = framework.translate(source).unit
+            if framework.profiler is not None:
+                out.write(framework.profiler.render() + "\n")
         chip = SCCChip(Table61Config())
+        if tracer is not None:
+            chip.attach_events(tracer, pid=1,
+                               name="rcce x%d cores" % args.ues)
         rcce = run_rcce(unit, args.ues, chip.config, chip)
+        snapshots["rcce"] = rcce.metrics
         first = rcce.stdout().strip().splitlines()[:1]
         out.write("rcce    x%d cores: %12d cycles  %s\n"
                   % (args.ues, rcce.cycles, first))
@@ -145,6 +179,13 @@ def cmd_run(args, out):
         if getattr(args, "stats", False):
             from repro.scc.report import chip_report, render_report
             out.write(render_report(chip_report(chip)) + "\n")
+    if tracer is not None:
+        write_chrome_trace(tracer, args.trace, Table61Config())
+        out.write("trace written to %s (%d events)\n"
+                  % (args.trace, len(tracer)))
+    if getattr(args, "metrics", None):
+        write_metrics_json(snapshots, args.metrics)
+        out.write("metrics written to %s\n" % args.metrics)
     return 0
 
 

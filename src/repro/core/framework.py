@@ -88,7 +88,7 @@ class TranslationFramework:
     def __init__(self, on_chip_capacity=DEFAULT_ON_CHIP_CAPACITY,
                  partition_policy="size", num_cores=48,
                  thread_id_args=None, fold_threads=False,
-                 allow_split=False, verbose=False):
+                 allow_split=False, verbose=False, profiler=None):
         self.on_chip_capacity = on_chip_capacity
         self.partition_policy = partition_policy
         self.num_cores = num_cores
@@ -99,6 +99,9 @@ class TranslationFramework:
         # §4.4 extension: split oversized arrays between SRAM and DRAM
         self.allow_split = allow_split
         self.verbose = verbose
+        # optional repro.obs.profile.PipelineProfiler: spans around
+        # every stage/pass of each pipeline run
+        self.profiler = profiler
 
     # -- pipelines ------------------------------------------------------------
 
@@ -137,14 +140,15 @@ class TranslationFramework:
     def analyze(self, source, filename="<source>"):
         """Run Stages 1-3 only; returns a :class:`FrameworkResult`."""
         context = self._context(source, filename)
-        Driver(self.analysis_passes(), self.verbose).run(context)
+        Driver(self.analysis_passes(), self.verbose,
+               self.profiler).run(context)
         return FrameworkResult(context)
 
     def partition(self, source, filename="<source>", policy=None):
         """Run Stages 1-4; returns a :class:`FrameworkResult`."""
         context = self._context(source, filename)
         passes = self.analysis_passes() + [self.partition_pass(policy)]
-        Driver(passes, self.verbose).run(context)
+        Driver(passes, self.verbose, self.profiler).run(context)
         return FrameworkResult(context)
 
     def translate(self, source, filename="<source>", policy=None):
@@ -154,7 +158,7 @@ class TranslationFramework:
         passes = (self.analysis_passes()
                   + [self.partition_pass(policy)]
                   + self.translation_passes())
-        Driver(passes, self.verbose).run(context)
+        Driver(passes, self.verbose, self.profiler).run(context)
         return FrameworkResult(context)
 
     @staticmethod

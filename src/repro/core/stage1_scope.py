@@ -48,6 +48,16 @@ class ScopeAnalysis(AnalysisPass):
                 info.record_stage(STAGE)
         return context.provide("variables", table)
 
+    def profile_stats(self, context):
+        table = context.facts.get("variables")
+        if table is None:
+            return {}
+        return {
+            "variables_classified": len(table),
+            "globals": sum(1 for info in table
+                           if info.scope_kind == "global"),
+        }
+
     # -- declaration harvesting -------------------------------------------------
 
     def _collect_globals(self, unit, table):

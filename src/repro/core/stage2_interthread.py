@@ -113,6 +113,16 @@ class InterThreadAnalysis(AnalysisPass):
     requires = ("variables",)
     provides = ("thread_launches", "thread_functions")
 
+    def profile_stats(self, context):
+        launches = context.facts.get("thread_launches")
+        if launches is None:
+            return {}
+        return {
+            "thread_launches": len(launches),
+            "thread_functions":
+                len(context.facts.get("thread_functions", ())),
+        }
+
     def run(self, context):
         table = context.require("variables")
         unit = context.unit

@@ -142,7 +142,9 @@ class PointsToAnalysis:
     def analyze(self):
         functions = self.unit.functions()
         cfgs = {func.name: build_cfg(func) for func in functions}
+        self.rounds = 0
         for _ in range(self.MAX_ROUNDS):
+            self.rounds += 1
             before = (self._snapshot(self.global_state.relations),
                       self._snapshot_seeds())
             for func in functions:
@@ -341,11 +343,14 @@ class AliasPointerAnalysis(AnalysisPass):
         analysis = PointsToAnalysis(context.unit, table)
         relations = analysis.analyze()
         context.provide("points_to", relations)
+        self._fixpoint_rounds = analysis.rounds
+        self._algorithm2_rounds = 0
 
         # Algorithm 2: shared pointer with a definite relationship makes
         # the pointed-to symbol shared.
         changed = True
         while changed:
+            self._algorithm2_rounds += 1
             changed = False
             for pointer, targets in relations.items():
                 pointer_info = self._lookup(table, pointer)
@@ -368,6 +373,17 @@ class AliasPointerAnalysis(AnalysisPass):
         for info in table:
             info.record_stage(STAGE)
         return relations
+
+    def profile_stats(self, context):
+        table = context.facts.get("variables")
+        return {
+            "pointsto_relations": len(context.facts.get("points_to",
+                                                        ())),
+            "pointsto_rounds": getattr(self, "_fixpoint_rounds", 0),
+            "algorithm2_rounds": getattr(self, "_algorithm2_rounds", 0),
+            "shared_variables": sum(1 for info in table
+                                    if info.is_shared) if table else 0,
+        }
 
     @staticmethod
     def _lookup(table, key):

@@ -179,3 +179,13 @@ class DataPartitioning(AnalysisPass):
             table.shared(), self.on_chip_capacity, self.policy,
             self.allow_split)
         return context.provide("partition_plan", plan)
+
+    def profile_stats(self, context):
+        plan = context.facts.get("partition_plan")
+        if plan is None:
+            return {}
+        return {
+            "on_chip_bytes": plan.on_chip_bytes,
+            "off_chip_bytes": plan.off_chip_bytes,
+            "placements": len(plan.placements),
+        }

@@ -43,6 +43,11 @@ class Pass:
     def run(self, context):
         raise NotImplementedError
 
+    def profile_stats(self, context):
+        """Stage-specific statistics for the pipeline profiler
+        (``repro.obs.profile``); called after the pass ran."""
+        return {}
+
     def __call__(self, context):
         for key in self.requires:
             context.require(key)
@@ -87,11 +92,17 @@ def _check_consistency(unit):
 
 
 class Driver:
-    """Runs a pipeline of passes in series (paper §5.3's Driver class)."""
+    """Runs a pipeline of passes in series (paper §5.3's Driver class).
 
-    def __init__(self, passes=None, verbose=False):
+    When a :class:`repro.obs.profile.PipelineProfiler` is attached,
+    every pass runs inside a wall-time span annotated with the pass's
+    ``profile_stats``.
+    """
+
+    def __init__(self, passes=None, verbose=False, profiler=None):
         self.passes = list(passes or [])
         self.verbose = verbose
+        self.profiler = profiler
 
     def add(self, pass_):
         self.passes.append(pass_)
@@ -102,8 +113,15 @@ class Driver:
             context = unit_or_context
         else:
             context = ProgramContext(unit_or_context)
+        profiling = self.profiler is not None and self.profiler.enabled
         for pass_ in self.passes:
             if self.verbose:
                 print("[driver] running %s" % pass_.name)
-            pass_(context)
+            if profiling:
+                with self.profiler.span(pass_.name):
+                    pass_(context)
+                    self.profiler.annotate(
+                        **pass_.profile_stats(context))
+            else:
+                pass_(context)
         return context

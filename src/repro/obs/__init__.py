@@ -1,0 +1,56 @@
+"""Unified instrumentation: metrics registry, pipeline profiler, and
+simulator event tracing.
+
+Three cooperating pieces, all zero-dependency and all no-ops until a
+caller opts in:
+
+* :class:`MetricsRegistry` (``repro.obs.metrics``) — labeled counters,
+  gauges, and histograms that every chip component, the RCCE runtime,
+  and the runners publish into; one ``reset()`` restores a clean slate
+  between runs.
+* :class:`PipelineProfiler` (``repro.obs.profile``) — wall-time spans
+  around the five framework stages and each IR pass, with
+  stage-specific statistics.
+* :class:`EventTracer` (``repro.obs.tracer``) — a ring buffer of
+  timestamped simulator events with a Chrome trace-event exporter
+  (loadable in ``chrome://tracing`` / Perfetto, one track per core).
+
+``repro.obs.export`` writes the machine-readable files the CLI's
+``--trace`` / ``--metrics`` flags produce.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    series_value,
+)
+from repro.obs.profile import PipelineProfiler, Span
+from repro.obs.tracer import EventTracer, NULL_EVENTS
+from repro.obs.export import (
+    render_metrics_text,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "series_value",
+    "PipelineProfiler",
+    "Span",
+    "EventTracer",
+    "NULL_EVENTS",
+    "render_metrics_text",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

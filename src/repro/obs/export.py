@@ -1,0 +1,53 @@
+"""File exporters: Chrome trace JSON, metrics JSON, metrics text.
+
+Small helpers shared by the CLI and the example scripts so every
+capture path produces the same file shapes:
+
+* ``write_chrome_trace(tracer, path, config)`` — a
+  ``chrome://tracing`` / Perfetto loadable trace, one track per core;
+* ``write_metrics_json(snapshots, path)`` — one or many registry
+  snapshots as a JSON document;
+* ``render_metrics_text(snapshot)`` — the plain-text dump.
+"""
+
+import json
+
+
+def write_chrome_trace(tracer, path, config=None):
+    """Write ``tracer`` as a Chrome trace-event file.  ``config``
+    supplies the core frequency so trace microseconds equal simulated
+    time; defaults to the SCC's 800 MHz."""
+    cycles_per_us = float(config.core_freq_mhz) if config is not None \
+        else 800.0
+    return tracer.write_chrome(path, cycles_per_us)
+
+
+def write_metrics_json(snapshots, path, indent=2):
+    """Write one snapshot (or a dict of named snapshots) to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(snapshots, handle, indent=indent, sort_keys=True)
+    return path
+
+
+def render_metrics_text(snapshot):
+    """Flatten one registry snapshot to ``name{labels} value`` lines."""
+    lines = []
+    for section in ("counters", "gauges"):
+        for name in sorted(snapshot.get(section, {})):
+            for row in snapshot[section][name]:
+                lines.append("%s%s %s" % (
+                    name, _labels(row["labels"]), row["value"]))
+    for name in sorted(snapshot.get("histograms", {})):
+        for row in snapshot["histograms"][name]:
+            summary = row["summary"]
+            lines.append("%s%s count=%d sum=%s p50=%s p99=%s" % (
+                name, _labels(row["labels"]), summary["count"],
+                summary["sum"], summary["p50"], summary["p99"]))
+    return "\n".join(lines)
+
+
+def _labels(labels):
+    if not labels:
+        return ""
+    return "{%s}" % ",".join("%s=%s" % (key, labels[key])
+                             for key in sorted(labels))

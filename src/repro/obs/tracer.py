@@ -1,0 +1,176 @@
+"""Simulator event tracing with a Chrome trace-event exporter.
+
+An :class:`EventTracer` collects timestamped simulator events —
+instruction retire batches, cache misses, mesh routes, MPB allocations,
+lock acquisitions, barrier entry/exit — into a bounded ring buffer.
+Timestamps are *simulated cycles*; the exporter converts them to
+microseconds so the file loads directly in ``chrome://tracing`` or
+Perfetto with one track (``tid``) per simulated core and one process
+(``pid``) per chip.
+
+The disabled singleton :data:`NULL_EVENTS` is what every chip starts
+with: emit sites guard on ``events.enabled`` (one attribute read), so
+tracing costs nothing until a run opts in with
+``chip.attach_events(tracer)``.
+"""
+
+import json
+from collections import deque
+
+DEFAULT_CAPACITY = 262_144
+
+# Chrome trace-event phases used by the exporter.
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+PHASE_METADATA = "M"
+
+
+class EventTracer:
+    """A ring buffer of simulator events.
+
+    Events are ``(phase, pid, tid, ts_cycles, dur_cycles, name,
+    category, args)`` tuples; the ring (``capacity`` events) keeps the
+    newest events when a run overflows it, and ``dropped`` counts what
+    fell out.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self.events = deque(maxlen=capacity)
+        self.dropped = 0
+        self.processes = {}          # pid -> name
+        self.threads = {}            # (pid, tid) -> name
+
+    # -- naming -----------------------------------------------------------------
+
+    def set_process(self, pid, name):
+        self.processes[pid] = name
+
+    def set_thread(self, pid, tid, name):
+        self.threads[(pid, tid)] = name
+
+    # -- emit -------------------------------------------------------------------
+
+    def _append(self, event):
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    def instant(self, tid, ts, name, category="sim", args=None, pid=0):
+        """A point event at simulated cycle ``ts``."""
+        self._append((PHASE_INSTANT, pid, tid, ts, 0, name, category,
+                      args))
+
+    def complete(self, tid, ts, dur, name, category="sim", args=None,
+                 pid=0):
+        """A span covering ``[ts, ts + dur]`` simulated cycles."""
+        self._append((PHASE_COMPLETE, pid, tid, ts, dur, name, category,
+                      args))
+
+    def counter(self, tid, ts, name, values, pid=0):
+        """A counter sample (one Chrome counter track per name)."""
+        self._append((PHASE_COUNTER, pid, tid, ts, 0, name, "counter",
+                      dict(values)))
+
+    # -- inspection -------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.events)
+
+    def clear(self):
+        self.events.clear()
+        self.dropped = 0
+
+    def core_tracks(self):
+        """The set of (pid, tid) pairs that emitted any event."""
+        return {(event[1], event[2]) for event in self.events}
+
+    def events_named(self, name):
+        return [event for event in self.events if event[5] == name]
+
+    # -- Chrome trace-event export ----------------------------------------------
+
+    def to_chrome(self, cycles_per_us=800.0):
+        """The trace as a Chrome trace-event JSON object.
+
+        ``cycles_per_us`` converts simulated cycles to microseconds;
+        pass the chip's core frequency in MHz (cycles per microsecond)
+        so trace time equals simulated time.
+        """
+        trace_events = []
+        for pid in sorted(self.processes):
+            trace_events.append({
+                "ph": PHASE_METADATA, "pid": pid, "tid": 0,
+                "name": "process_name",
+                "args": {"name": self.processes[pid]},
+            })
+        for (pid, tid) in sorted(self.threads):
+            trace_events.append({
+                "ph": PHASE_METADATA, "pid": pid, "tid": tid,
+                "name": "thread_name",
+                "args": {"name": self.threads[(pid, tid)]},
+            })
+            trace_events.append({
+                "ph": PHASE_METADATA, "pid": pid, "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            })
+        for phase, pid, tid, ts, dur, name, category, args in self.events:
+            event = {
+                "ph": phase, "pid": pid, "tid": tid,
+                "ts": ts / cycles_per_us,
+                "name": name, "cat": category,
+            }
+            if phase == PHASE_COMPLETE:
+                event["dur"] = dur / cycles_per_us
+            if phase == PHASE_INSTANT:
+                event["s"] = "t"  # thread-scoped instant
+            if args:
+                event["args"] = args
+            trace_events.append(event)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated cycles / %g MHz" % cycles_per_us,
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path, cycles_per_us=800.0):
+        """Write the Chrome trace JSON file; returns the event count."""
+        trace = self.to_chrome(cycles_per_us)
+        with open(path, "w") as handle:
+            json.dump(trace, handle)
+        return len(trace["traceEvents"])
+
+
+class _DisabledTracer:
+    """The no-op tracer every chip starts with."""
+
+    enabled = False
+
+    def set_process(self, pid, name):
+        pass
+
+    def set_thread(self, pid, tid, name):
+        pass
+
+    def instant(self, tid, ts, name, category="sim", args=None, pid=0):
+        pass
+
+    def complete(self, tid, ts, dur, name, category="sim", args=None,
+                 pid=0):
+        pass
+
+    def counter(self, tid, ts, name, values, pid=0):
+        pass
+
+    def __len__(self):
+        return 0
+
+
+NULL_EVENTS = _DisabledTracer()

@@ -85,6 +85,19 @@ class RCCEWorld:
         self.flags = FlagTable()
         self.collectives = CollectiveArea(self.barrier, num_ues)
         self.messages_sent = 0
+        # communication/synchronization accumulators, published through
+        # the chip's metrics registry (repro.obs); the collector
+        # replaces any previous world's on a reused chip
+        self.put_bytes = 0
+        self.get_bytes = 0
+        self.send_bytes = 0
+        self.lock_contentions = 0
+        chip.metrics.register_collector(
+            "rcce.world", self._collect_metrics, self._reset_counters)
+        # barriers are low-frequency: a direct histogram is fine
+        self.barrier_wait = chip.metrics.histogram(
+            "rcce_barrier_wait_cycles",
+            "cycles each UE spent waiting at a barrier")
         # symmetric split allocations: sequence-matched (size, on-chip)
         self._split_lock = threading.Lock()
         self._split_allocs = []
@@ -109,6 +122,35 @@ class RCCEWorld:
 
     def runtime_for(self, rank):
         return RCCECoreRuntime(self, rank)
+
+    # -- observability ------------------------------------------------------
+
+    def _collect_metrics(self):
+        samples = [
+            ("counter", "rcce_barrier_rounds", {}, self.barrier.rounds),
+            ("counter", "rcce_messages_sent", {}, self.messages_sent),
+            ("counter", "rcce_mpb_fallbacks", {}, self.mpb_fallbacks),
+            ("counter", "rcce_put_bytes", {}, self.put_bytes),
+            ("counter", "rcce_get_bytes", {}, self.get_bytes),
+            ("counter", "rcce_send_bytes", {}, self.send_bytes),
+            ("counter", "rcce_lock_contentions", {},
+             self.lock_contentions),
+        ]
+        for register, count in enumerate(self.registers.acquisitions):
+            if count:
+                samples.append(("counter", "rcce_lock_acquisitions",
+                                {"register": register}, count))
+        return samples
+
+    def _reset_counters(self):
+        self.barrier.rounds = 0
+        self.messages_sent = 0
+        self.mpb_fallbacks = 0
+        self.put_bytes = 0
+        self.get_bytes = 0
+        self.send_bytes = 0
+        self.lock_contentions = 0
+        self.registers.reset_counts()
 
 
 class RCCECoreRuntime:
@@ -170,8 +212,20 @@ class RCCECoreRuntime:
 
     def _finalize(self, interp, arg_nodes):
         self._eval(interp, arg_nodes)
-        interp.cycles = self.world.barrier.wait(self.rank, interp.cycles)
+        self._barrier_wait(interp, "finalize_barrier")
         return 0
+
+    def _barrier_wait(self, interp, label):
+        """Align clocks at the barrier, tracing entry/exit as one
+        span per core."""
+        entry = interp.cycles
+        interp.cycles = self.world.barrier.wait(self.rank, entry)
+        self.world.barrier_wait.observe(interp.cycles - entry)
+        events = self.world.chip.events
+        if events.enabled:
+            events.complete(self.core_id, entry, interp.cycles - entry,
+                            label, "sync", {"rank": self.rank},
+                            pid=self.world.chip.trace_pid)
 
     def _ue(self, interp, arg_nodes):
         self._eval(interp, arg_nodes)
@@ -210,11 +264,18 @@ class RCCECoreRuntime:
         args = self._eval(interp, arg_nodes)
         interp.charge(MPB_MALLOC_COST)
         size = max(int(args[0]), 4)
+        fallback = False
         try:
             segment = self.world.mpb_heap.allocate(self.rank, size)
         except OutOfMemoryError:
+            fallback = True
             self.world.mpb_fallbacks += 1
             segment = self.world.shared_heap.allocate(self.rank, size)
+        events = self.world.chip.events
+        if events.enabled:
+            events.instant(self.core_id, interp.cycles, "mpb_alloc",
+                           "mem", {"size": size, "fallback": fallback},
+                           pid=self.world.chip.trace_pid)
         return Pointer(segment.base, 4, None)
 
     def _free(self, interp, arg_nodes):
@@ -226,7 +287,7 @@ class RCCECoreRuntime:
 
     def _barrier(self, interp, arg_nodes):
         self._eval(interp, arg_nodes)
-        interp.cycles = self.world.barrier.wait(self.rank, interp.cycles)
+        self._barrier_wait(interp, "barrier")
         return 0
 
     def _acquire_lock(self, interp, arg_nodes):
@@ -234,7 +295,17 @@ class RCCECoreRuntime:
         register = int(args[0]) if args else 0
         owner = register % self.world.chip.config.num_cores
         interp.charge(self.world.chip.lock_cost(self.core_id, owner))
+        contended = self.world.registers.contended(register)
+        if contended:
+            self.world.lock_contentions += 1
+        entry = interp.cycles
         self.world.registers.acquire(register)
+        events = self.world.chip.events
+        if events.enabled:
+            events.instant(self.core_id, entry, "lock_acquire", "sync",
+                           {"register": register,
+                            "contended": contended},
+                           pid=self.world.chip.trace_pid)
         return 0
 
     def _release_lock(self, interp, arg_nodes):
@@ -263,6 +334,7 @@ class RCCECoreRuntime:
         if not isinstance(dst, Pointer) or not isinstance(src, Pointer):
             return -1
         mpb_side = dst if is_put else src
+        entry = interp.cycles
         interp.charge(PUT_GET_SETUP_COST)
         try:
             offset = self.world.chip.address_space.mpb_offset(
@@ -275,6 +347,17 @@ class RCCECoreRuntime:
         stride = max(dst.stride, 1)
         count = max(nbytes // stride, 1)
         interp.memory.memcpy(dst.addr, src.addr, count, stride)
+        if is_put:
+            self.world.put_bytes += nbytes
+        else:
+            self.world.get_bytes += nbytes
+        events = self.world.chip.events
+        if events.enabled:
+            events.complete(self.core_id, entry,
+                            interp.cycles - entry,
+                            "put" if is_put else "get", "comm",
+                            {"bytes": nbytes},
+                            pid=self.world.chip.trace_pid)
         return 0
 
     def _wtime(self, interp, arg_nodes):
@@ -307,8 +390,16 @@ class RCCECoreRuntime:
         values, _, _ = self._buffer_values(interp, buf, nbytes)
         cost = self._transfer_cost(dest, nbytes)
         channel = self.world.fabric.channel(self.rank, dest)
+        entry = interp.cycles
         interp.cycles = channel.send(values, interp.cycles + cost)
         self.world.messages_sent += 1
+        self.world.send_bytes += nbytes
+        events = self.world.chip.events
+        if events.enabled:
+            events.complete(self.core_id, entry,
+                            interp.cycles - entry, "send", "comm",
+                            {"bytes": nbytes, "dest": dest},
+                            pid=self.world.chip.trace_pid)
         return 0
 
     def _recv(self, interp, arg_nodes):
@@ -319,8 +410,14 @@ class RCCECoreRuntime:
         buf, nbytes, source = args[0], max(int(args[1]), 0), int(args[2])
         cost = self._transfer_cost(source, nbytes)
         channel = self.world.fabric.channel(source, self.rank)
+        entry = interp.cycles
         values, clock = channel.recv(interp.cycles, cost)
         interp.cycles = clock
+        events = self.world.chip.events
+        if events.enabled:
+            events.complete(self.core_id, entry, clock - entry, "recv",
+                            "comm", {"bytes": nbytes, "source": source},
+                            pid=self.world.chip.trace_pid)
         stride = max(buf.stride, 1)
         for index, value in enumerate(values):
             interp.memory.store(buf.addr + index * stride, value)

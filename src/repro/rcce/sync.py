@@ -59,6 +59,14 @@ class TestAndSetRegisters:
         self._locks = [threading.Lock() for _ in range(num_cores)]
         self.acquisitions = [0] * num_cores
 
+    def contended(self, register):
+        """Whether register ``register`` is currently held (the
+        would-be acquirer would spin)."""
+        return self._locks[register % self.num_cores].locked()
+
+    def reset_counts(self):
+        self.acquisitions = [0] * self.num_cores
+
     def acquire(self, register):
         lock = self._locks[register % self.num_cores]
         lock.acquire()

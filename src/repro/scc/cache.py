@@ -28,6 +28,11 @@ class CacheStats:
             return 0.0
         return self.hits / self.accesses
 
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def __repr__(self):
         return "CacheStats(hits=%d, misses=%d, rate=%.3f)" % (
             self.hits, self.misses, self.hit_rate)

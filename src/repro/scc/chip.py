@@ -12,6 +12,8 @@ the interpreter uses.  Pricing:
 
 import threading
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_EVENTS
 from repro.scc.cache import Cache
 from repro.scc.dram import MemoryController
 from repro.scc.lut import LookupTable
@@ -52,6 +54,87 @@ class SCCChip:
                      for i in range(config.num_cores)]
         self._reconfigured_cores = set()
         self._lock = threading.Lock()
+        # observability: every component's counters surface through one
+        # registry; event tracing is a no-op until a run attaches a
+        # tracer (repro.obs) — both near-zero cost when idle
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(
+            "scc.chip", self._collect_metrics, self._reset_counters)
+        self.events = NULL_EVENTS
+        self.trace_pid = 0
+
+    # -- observability ----------------------------------------------------------
+
+    def attach_events(self, tracer, pid=0, name=None):
+        """Route simulator events (cache misses, mesh routes, MPB
+        traffic) into ``tracer``, tagged with Chrome-trace process
+        ``pid``."""
+        self.events = tracer
+        self.trace_pid = pid
+        if name is not None:
+            tracer.set_process(pid, name)
+
+    def detach_events(self):
+        self.events = NULL_EVENTS
+
+    def _collect_metrics(self):
+        """Publish every component counter as registry samples."""
+        samples = []
+        for state in self.cores:
+            for level, cache in (("l1", state.l1), ("l2", state.l2)):
+                stats = cache.stats
+                if stats.accesses == 0 and stats.evictions == 0:
+                    continue
+                labels = {"core": state.core_id, "level": level}
+                samples.append(("counter", "scc_cache_hits", labels,
+                                stats.hits))
+                samples.append(("counter", "scc_cache_misses", labels,
+                                stats.misses))
+                samples.append(("counter", "scc_cache_evictions",
+                                labels, stats.evictions))
+            for kind, count in state.accesses.items():
+                if count:
+                    samples.append((
+                        "counter", "scc_core_accesses",
+                        {"core": state.core_id, "segment": str(kind)},
+                        count))
+        for controller in self.controllers:
+            labels = {"controller": controller.index}
+            if controller.stats.accesses:
+                samples.append(("counter", "scc_dram_reads", labels,
+                                controller.stats.reads))
+                samples.append(("counter", "scc_dram_writes", labels,
+                                controller.stats.writes))
+                samples.append(("counter", "scc_dram_busy_cycles",
+                                labels, controller.stats.busy_cycles))
+            if controller.active_requesters:
+                samples.append(("gauge", "scc_dram_active_requesters",
+                                labels,
+                                len(controller.active_requesters)))
+        samples.append(("counter", "scc_mpb_reads", {},
+                        self.mpb.stats.reads))
+        samples.append(("counter", "scc_mpb_writes", {},
+                        self.mpb.stats.writes))
+        samples.append(("counter", "scc_mpb_bytes_moved", {},
+                        self.mpb.stats.bytes_moved))
+        for link, count in sorted(self.mesh.link_traffic.items()):
+            samples.append(("counter", "scc_mesh_link_traffic",
+                            {"link": "%s->%s" % link}, count))
+        samples.append(("gauge", "scc_power_watts", {},
+                        self.power.chip_power_watts()))
+        return samples
+
+    def _reset_counters(self):
+        """Zero every component accumulator (registry reset hook)."""
+        for state in self.cores:
+            state.l1.stats.reset()
+            state.l2.stats.reset()
+            for kind in state.accesses:
+                state.accesses[kind] = 0
+        for controller in self.controllers:
+            controller.stats.reset()
+        self.mpb.stats.reset()
+        self.mesh.reset_traffic()
 
     # -- requester registration (contention model input) -----------------------
 
@@ -79,8 +162,10 @@ class SCCChip:
             self.cores[core].l2.invalidate_all()
         return entry
 
-    def access_cost(self, core, addr, kind="read", size=4):
-        """Cycle cost of one memory access from ``core``."""
+    def access_cost(self, core, addr, kind="read", size=4, ts=0):
+        """Cycle cost of one memory access from ``core``.  ``ts`` is
+        the requester's simulated clock, used only to timestamp trace
+        events when a tracer is attached."""
         state = self.cores[core]
         segment, physical = self.address_space.resolve(addr)
         if core in self._reconfigured_cores:
@@ -91,21 +176,26 @@ class SCCChip:
         state.accesses[segment] += 1
 
         if segment is SegmentKind.PRIVATE:
-            return self._private_cost(core, state, physical)
+            return self._private_cost(core, state, physical, ts)
         if segment is SegmentKind.SHARED:
-            return self._shared_cost(core, kind)
-        return self._mpb_cost(core, physical, kind, size)
+            return self._shared_cost(core, kind, ts)
+        return self._mpb_cost(core, physical, kind, size, ts)
 
-    def _private_cost(self, core, state, addr):
+    def _private_cost(self, core, state, addr, ts=0):
         if state.l1.access(addr):
             return self.config.l1_hit_cycles
         if state.l2.access(addr):
             return self.config.l2_hit_cycles
         controller_id = self.mesh.controller_of(core)
         hops = self.mesh.hops_to_controller(core, controller_id)
+        if self.events.enabled:
+            self.events.instant(
+                core, ts, "cache_miss", "cache",
+                {"level": "L2", "controller": controller_id,
+                 "hops": hops}, pid=self.trace_pid)
         return self.controllers[controller_id].access_cycles("read", hops)
 
-    def _shared_cost(self, core, kind):
+    def _shared_cost(self, core, kind, ts=0):
         controller_id = self.mesh.controller_of(core)
         hops = self.mesh.hops_to_controller(core, controller_id)
         if self.mesh.record_traffic:
@@ -113,9 +203,15 @@ class SCCChip:
                 self.mesh.coords_of(core),
                 self.mesh.controller_coords(controller_id))
         cost = self.controllers[controller_id].access_cycles(kind, hops)
+        if self.events.enabled:
+            self.events.instant(
+                core, ts, "mesh_route", "mesh",
+                {"to": "MC%d" % controller_id, "hops": hops,
+                 "kind": kind, "segment": "shared"},
+                pid=self.trace_pid)
         return cost + self.config.uncached_shared_penalty
 
-    def _mpb_cost(self, core, addr, kind, size):
+    def _mpb_cost(self, core, addr, kind, size, ts=0):
         # On the real SCC, MPB data is L1-cacheable under the special
         # MPBT tag (software invalidates when needed); reads mostly hit
         # L1, which is the bulk of the on-chip win in Figure 6.2.
@@ -125,10 +221,17 @@ class SCCChip:
         if kind == "write":
             state.l1.access(addr)  # write-through: line present after
         offset = self.address_space.mpb_offset(addr)
-        if self.mesh.record_traffic:
+        if self.mesh.record_traffic or self.events.enabled:
             owner = self.mpb.owner_of_offset(offset)
-            self.mesh.record_route(self.mesh.coords_of(core),
-                                   self.mesh.coords_of(owner))
+            if self.mesh.record_traffic:
+                self.mesh.record_route(self.mesh.coords_of(core),
+                                       self.mesh.coords_of(owner))
+            if self.events.enabled:
+                self.events.instant(
+                    core, ts, "mesh_route", "mesh",
+                    {"to": "core%d-mpb" % owner,
+                     "hops": self.mesh.hops(core, owner), "kind": kind,
+                     "segment": "mpb"}, pid=self.trace_pid)
         return self.mpb.access_cycles(core, offset, kind, size)
 
     # -- synchronization costs -------------------------------------------------------

@@ -25,6 +25,11 @@ class MemoryControllerStats:
     def accesses(self):
         return self.reads + self.writes
 
+    def reset(self):
+        self.reads = 0
+        self.writes = 0
+        self.busy_cycles = 0
+
     def __repr__(self):
         return "MemoryControllerStats(r=%d, w=%d, busy=%d)" % (
             self.reads, self.writes, self.busy_cycles)

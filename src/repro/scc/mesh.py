@@ -38,6 +38,14 @@ class Mesh:
                 self.link_traffic[link] = \
                     self.link_traffic.get(link, 0) + 1
 
+    def reset_traffic(self):
+        """Clear the per-link counters (recording stays as-is)."""
+        if self._traffic_lock is not None:
+            with self._traffic_lock:
+                self.link_traffic.clear()
+        else:
+            self.link_traffic.clear()
+
     def hot_links(self, top=5):
         """The ``top`` busiest links as ((from, to), count) pairs."""
         return sorted(self.link_traffic.items(),

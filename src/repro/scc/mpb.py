@@ -16,6 +16,11 @@ class MPBStats:
         self.writes = 0
         self.bytes_moved = 0
 
+    def reset(self):
+        self.reads = 0
+        self.writes = 0
+        self.bytes_moved = 0
+
     def __repr__(self):
         return "MPBStats(r=%d, w=%d, bytes=%d)" % (
             self.reads, self.writes, self.bytes_moved)

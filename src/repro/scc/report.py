@@ -7,13 +7,22 @@ performance-counter infrastructure the related work (Bellosa &
 Steckermeier [3], Weissman [31]) builds on.
 """
 
+from repro.obs.metrics import series_value
 from repro.scc.memmap import SegmentKind
 
 
 def chip_report(chip, active_cores=None):
-    """A nested dict of every counter worth looking at."""
-    cores = list(active_cores) if active_cores is not None \
-        else list(range(chip.config.num_cores))
+    """A nested dict of every counter worth looking at.
+
+    Built entirely from the chip's metrics-registry snapshot — the one
+    unified counter surface — rather than reaching into component
+    internals; the rendered output is unchanged (golden-tested).
+    """
+    snapshot = chip.metrics.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    cores = set(active_cores) if active_cores is not None \
+        else set(range(chip.config.num_cores))
     report = {
         "config": {
             "cores": chip.config.num_cores,
@@ -24,33 +33,46 @@ def chip_report(chip, active_cores=None):
         "cores": {},
         "controllers": {},
         "mpb": {
-            "reads": chip.mpb.stats.reads,
-            "writes": chip.mpb.stats.writes,
-            "bytes_moved": chip.mpb.stats.bytes_moved,
+            "reads": series_value(counters, "scc_mpb_reads"),
+            "writes": series_value(counters, "scc_mpb_writes"),
+            "bytes_moved": series_value(counters,
+                                        "scc_mpb_bytes_moved"),
         },
-        "power_watts": chip.power.chip_power_watts(),
+        "power_watts": series_value(gauges, "scc_power_watts"),
     }
-    for core in cores:
-        state = chip.cores[core]
-        if not any(state.accesses.values()):
-            continue
-        report["cores"][core] = {
-            "l1_hit_rate": state.l1.stats.hit_rate,
-            "l1_accesses": state.l1.stats.accesses,
-            "l2_hit_rate": state.l2.stats.hit_rate,
-            "l2_accesses": state.l2.stats.accesses,
-            "accesses": {str(kind): count
-                         for kind, count in state.accesses.items()
-                         if count},
-        }
-    for controller in chip.controllers:
-        if controller.stats.accesses == 0:
-            continue
-        report["controllers"][controller.index] = {
-            "reads": controller.stats.reads,
-            "writes": controller.stats.writes,
-            "busy_cycles": controller.stats.busy_cycles,
-            "active_requesters": len(controller.active_requesters),
+
+    # cores with any priced access, from the per-segment access mix
+    mixes = {}
+    for row in counters.get("scc_core_accesses", ()):
+        core = row["labels"]["core"]
+        if core in cores:
+            mixes.setdefault(core, {})[row["labels"]["segment"]] = \
+                row["value"]
+    for core in sorted(mixes):
+        stats = {"accesses": mixes[core]}
+        for level in ("l1", "l2"):
+            hits = series_value(counters, "scc_cache_hits",
+                                core=core, level=level)
+            misses = series_value(counters, "scc_cache_misses",
+                                  core=core, level=level)
+            accesses = hits + misses
+            stats["%s_accesses" % level] = accesses
+            stats["%s_hit_rate" % level] = \
+                hits / accesses if accesses else 0.0
+        report["cores"][core] = stats
+
+    for row in counters.get("scc_dram_reads", ()):
+        controller = row["labels"]["controller"]
+        report["controllers"][controller] = {
+            "reads": row["value"],
+            "writes": series_value(counters, "scc_dram_writes",
+                                   controller=controller),
+            "busy_cycles": series_value(counters,
+                                        "scc_dram_busy_cycles",
+                                        controller=controller),
+            "active_requesters": series_value(
+                gauges, "scc_dram_active_requesters",
+                controller=controller),
         }
     return report
 

@@ -70,6 +70,10 @@ class ThreadExit(Exception):
 # Stack size reserved per core inside its private window.
 STACK_BYTES = 1024 * 1024
 
+# Interpreter steps per traced "retire_batch" span (power of two: the
+# batch check is a single mask on the hot path).
+RETIRE_BATCH = 4096
+
 
 class Interpreter:
     """Executes one simulated core's view of a program."""
@@ -89,6 +93,7 @@ class Interpreter:
 
         self.cycles = 0
         self.steps = 0
+        self._batch_start_cycles = 0
         self.output = []
         self.functions = {f.name: f for f in unit.functions()}
         self.globals_env = {}
@@ -177,7 +182,8 @@ class Interpreter:
         self.cycles += OP_COSTS[kind]
 
     def load(self, addr, ctype=None):
-        self.cycles += self.chip.access_cost(self.core_id, addr, "read")
+        self.cycles += self.chip.access_cost(self.core_id, addr, "read",
+                                             4, self.cycles)
         if self.tracer is not None:
             self.tracer.record(self, addr, "read")
         value = self.memory.load(addr)
@@ -188,7 +194,8 @@ class Interpreter:
         return value
 
     def store(self, addr, value, ctype=None):
-        self.cycles += self.chip.access_cost(self.core_id, addr, "write")
+        self.cycles += self.chip.access_cost(self.core_id, addr,
+                                             "write", 4, self.cycles)
         if self.tracer is not None:
             self.tracer.record(self, addr, "write")
         if ctype is not None:
@@ -202,6 +209,15 @@ class Interpreter:
             raise StepLimitExceeded(
                 "exceeded %d interpreter steps on core %d"
                 % (self.max_steps, self.core_id))
+        if not self.steps & (RETIRE_BATCH - 1):
+            events = self.chip.events
+            if events.enabled:
+                events.complete(
+                    self.core_id, self._batch_start_cycles,
+                    self.cycles - self._batch_start_cycles,
+                    "retire_batch", "cpu", {"steps": RETIRE_BATCH},
+                    pid=self.chip.trace_pid)
+                self._batch_start_cycles = self.cycles
 
     # -- variable binding -----------------------------------------------------------
 

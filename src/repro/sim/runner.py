@@ -24,13 +24,15 @@ class RunResult:
     """Outcome of one simulated program run."""
 
     def __init__(self, cycles, config, output, per_core_cycles=None,
-                 exit_value=None, stats=None):
+                 exit_value=None, stats=None, metrics=None):
         self.cycles = cycles
         self.config = config
         self.output = output
         self.per_core_cycles = per_core_cycles or {}
         self.exit_value = exit_value
         self.stats = stats or {}
+        # the chip's metrics-registry snapshot taken at run end
+        self.metrics = metrics or {}
 
     @property
     def seconds(self):
@@ -50,6 +52,29 @@ def _as_unit(program):
     return program
 
 
+def _prepare_chip(chip, interpreters, cores):
+    """Per-run observability setup: reset the metrics registry so a
+    reused chip does not bleed counters between runs, re-register the
+    interpreter collector, and name the trace tracks."""
+    chip.metrics.reset()
+
+    def collect():
+        samples = []
+        for interp in list(interpreters):
+            labels = {"core": interp.core_id}
+            samples.append(("counter", "sim_steps", labels,
+                            interp.steps))
+            samples.append(("counter", "sim_cycles", labels,
+                            interp.cycles))
+        return samples
+
+    chip.metrics.register_collector("sim.interpreters", collect)
+    if chip.events.enabled:
+        for core in cores:
+            chip.events.set_thread(chip.trace_pid, core,
+                                   "core %d" % core)
+
+
 def run_pthread_single_core(program, config=None, chip=None, core=0,
                             max_steps=200_000_000):
     """Run a Pthreads program with all threads on one core."""
@@ -58,7 +83,10 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     chip = chip or SCCChip(config)
     memory = Memory()
     runtime = PthreadRuntime()
+    interpreters = []
+    _prepare_chip(chip, interpreters, [core])
     interp = Interpreter(unit, chip, core, memory, runtime, max_steps)
+    interpreters.append(interp)
     chip.activate_core(core)
     try:
         try:
@@ -79,7 +107,8 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
             "compute_cycles": interp.cycles,
             "scheduling_overhead_cycles": overhead,
             "cache": chip.cache_stats(core),
-        })
+        },
+        metrics=chip.metrics.snapshot())
 
 
 class _CoreError:
@@ -101,9 +130,11 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
+    interpreters = []
+    _prepare_chip(chip, interpreters,
+                  list(core_map) if core_map else range(num_ues))
     world = RCCEWorld(chip, num_ues, core_map)
     memory = Memory()
-    interpreters = []
     error = _CoreError()
 
     def core_main(rank):
@@ -154,4 +185,5 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
             "controllers": {index: (stats.reads, stats.writes)
                             for index, stats
                             in chip.controller_stats().items()},
-        })
+        },
+        metrics=chip.metrics.snapshot())
