@@ -1,0 +1,190 @@
+"""Interpreter engine speed: closure-compiled vs the reference tree-walker.
+
+Runs the Fig. 6.1 workload set (every benchmark in both the ``pthread``
+baseline and ``rcce-off`` configurations) under both engines, measures
+the *simulate* pipeline stage (the interpreter's own work — translation
+and output verification are engine-independent and excluded), checks
+that simulated cycle counts are byte-identical, and writes a
+machine-readable report to ``BENCH_interp.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_interp_speed.py           # full set
+    PYTHONPATH=src python benchmarks/bench_interp_speed.py --smoke   # CI subset
+    pytest benchmarks/bench_interp_speed.py                          # smoke test
+
+Full mode asserts the overall speedup is >= 3x (the PR's acceptance
+bar); smoke mode only asserts cycle identity and a modest >1.2x so CI
+machine jitter cannot flake the job.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.bench.harness import ExperimentHarness  # noqa: E402
+
+FIG_6_1_BENCHMARKS = ("pi", "sum35", "primes", "stream", "dot", "lu")
+SMOKE_BENCHMARKS = ("pi", "stream")
+CONFIGURATIONS = ("pthread", "rcce-off")
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_interp.json")
+
+FULL_SPEEDUP_FLOOR = 3.0
+SMOKE_SPEEDUP_FLOOR = 1.2
+
+
+def _simulate_seconds(run):
+    """Wall seconds of the harness's 'simulate' profiler span."""
+    for stage in run.instrumentation["stages"]:
+        if stage["stage"] == "simulate":
+            return stage["wall_seconds"]
+    raise LookupError("no simulate span recorded")
+
+
+def _total_steps(run):
+    """Total interpreter steps across all cores (from the metrics
+    registry's sim_steps counter)."""
+    samples = run.instrumentation["metrics"].get(
+        "counters", {}).get("sim_steps", [])
+    return sum(sample["value"] for sample in samples)
+
+
+def measure(benchmarks, num_ues, verify=True):
+    """Run ``benchmarks`` x CONFIGURATIONS under both engines.
+
+    Returns the report dict (see module docstring).  Raises
+    AssertionError if any workload's simulated cycles differ between
+    engines — the differential guarantee is part of the measurement.
+    """
+    engines = ("compiled", "tree")
+    raw = {}
+    for engine in engines:
+        harness = ExperimentHarness(num_ues=num_ues, engine=engine,
+                                    verify=verify)
+        for name in benchmarks:
+            for configuration in CONFIGURATIONS:
+                run = harness.run(name, configuration)
+                raw[(engine, name, configuration)] = {
+                    "cycles": run.cycles,
+                    "steps": _total_steps(run),
+                    "wall_seconds": _simulate_seconds(run),
+                }
+
+    workloads = {}
+    totals = {engine: 0.0 for engine in engines}
+    for name in benchmarks:
+        for configuration in CONFIGURATIONS:
+            compiled = raw[("compiled", name, configuration)]
+            tree = raw[("tree", name, configuration)]
+            assert compiled["cycles"] == tree["cycles"], (
+                "%s/%s: compiled %d cycles != tree %d cycles"
+                % (name, configuration, compiled["cycles"],
+                   tree["cycles"]))
+            assert compiled["steps"] == tree["steps"], (
+                "%s/%s: step counts diverged" % (name, configuration))
+            totals["compiled"] += compiled["wall_seconds"]
+            totals["tree"] += tree["wall_seconds"]
+            workloads["%s/%s" % (name, configuration)] = {
+                "cycles": compiled["cycles"],
+                "steps": compiled["steps"],
+                "compiled_wall_seconds": compiled["wall_seconds"],
+                "tree_wall_seconds": tree["wall_seconds"],
+                "compiled_ops_per_sec":
+                    compiled["steps"] / compiled["wall_seconds"],
+                "tree_ops_per_sec":
+                    tree["steps"] / tree["wall_seconds"],
+                "speedup":
+                    tree["wall_seconds"] / compiled["wall_seconds"],
+            }
+
+    speedups = [entry["speedup"] for entry in workloads.values()]
+    product = 1.0
+    for value in speedups:
+        product *= value
+    return {
+        "workload_set": "fig_6_1",
+        "benchmarks": list(benchmarks),
+        "configurations": list(CONFIGURATIONS),
+        "num_ues": num_ues,
+        "measure": "simulate-stage wall seconds (translation and "
+                   "verification excluded; identical in both engines)",
+        "cycles_identical": True,
+        "workloads": workloads,
+        "total_compiled_seconds": totals["compiled"],
+        "total_tree_seconds": totals["tree"],
+        "overall_speedup": totals["tree"] / totals["compiled"],
+        "geomean_speedup": product ** (1.0 / len(speedups)),
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+
+
+def render(report):
+    lines = ["%-18s %12s %10s %10s %8s"
+             % ("workload", "cycles", "tree s", "compiled s", "speedup")]
+    for key, entry in report["workloads"].items():
+        lines.append("%-18s %12d %10.3f %10.3f %7.2fx" % (
+            key, entry["cycles"], entry["tree_wall_seconds"],
+            entry["compiled_wall_seconds"], entry["speedup"]))
+    lines.append("overall: %.2fx  (geomean %.2fx, min %.2fx, "
+                 "tree %.1fs -> compiled %.1fs)" % (
+                     report["overall_speedup"],
+                     report["geomean_speedup"], report["min_speedup"],
+                     report["total_tree_seconds"],
+                     report["total_compiled_seconds"]))
+    return "\n".join(lines)
+
+
+# -- pytest entry (smoke scale) -------------------------------------------------
+
+
+def test_interp_speed_smoke(tmp_path):
+    report = measure(SMOKE_BENCHMARKS, num_ues=8)
+    (tmp_path / "BENCH_interp.json").write_text(
+        json.dumps(report, indent=2))
+    assert report["cycles_identical"]
+    assert report["overall_speedup"] > SMOKE_SPEEDUP_FLOOR
+
+
+# -- script entry ----------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: %s at 8 UEs, no 3x gate"
+                        % (SMOKE_BENCHMARKS,))
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help="report path (default %s)" % DEFAULT_OUTPUT)
+    parser.add_argument("--ues", type=int, default=None,
+                        help="override the UE count")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        benchmarks, num_ues, floor = (
+            SMOKE_BENCHMARKS, args.ues or 8, SMOKE_SPEEDUP_FLOOR)
+    else:
+        benchmarks, num_ues, floor = (
+            FIG_6_1_BENCHMARKS, args.ues or 32, FULL_SPEEDUP_FLOOR)
+
+    report = measure(benchmarks, num_ues)
+    report["mode"] = "smoke" if args.smoke else "full"
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(report))
+    print("report written to %s" % args.output)
+    if report["overall_speedup"] < floor:
+        print("FAIL: overall speedup %.2fx < %.1fx floor"
+              % (report["overall_speedup"], floor))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ class Coord:
                 and (self.filename, self.line, self.column)
                 == (other.filename, other.line, other.column))
 
+    def __deepcopy__(self, memo):
+        return self  # immutable; shared freely across AST copies
+
 
 class Node:
     """Base AST node."""

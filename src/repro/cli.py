@@ -58,11 +58,18 @@ def build_parser():
                      "simulation (load in chrome://tracing / Perfetto)")
     run.add_argument("--metrics", default=None, metavar="FILE",
                      help="write the metrics-registry snapshots as JSON")
+    run.add_argument("--engine", choices=["compiled", "tree"],
+                     default="compiled",
+                     help="interpreter engine: closure-compiled "
+                     "(default) or the reference tree-walker")
     _framework_args(run)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument("figure", choices=["6.1", "6.2", "6.3"])
     bench.add_argument("--ues", type=int, default=32)
+    bench.add_argument("--engine", choices=["compiled", "tree"],
+                       default="compiled",
+                       help="interpreter engine (see `run --engine`)")
 
     return parser
 
@@ -151,7 +158,8 @@ def cmd_run(args, out):
             pthread_chip.attach_events(tracer, pid=0,
                                        name="pthread x1 core")
         baseline = run_pthread_single_core(source, pthread_chip.config,
-                                           pthread_chip)
+                                           pthread_chip,
+                                           engine=args.engine)
         snapshots["pthread"] = baseline.metrics
         out.write("pthread x1 core : %12d cycles  %s\n"
                   % (baseline.cycles,
@@ -169,7 +177,8 @@ def cmd_run(args, out):
         if tracer is not None:
             chip.attach_events(tracer, pid=1,
                                name="rcce x%d cores" % args.ues)
-        rcce = run_rcce(unit, args.ues, chip.config, chip)
+        rcce = run_rcce(unit, args.ues, chip.config, chip,
+                        engine=args.engine)
         snapshots["rcce"] = rcce.metrics
         first = rcce.stdout().strip().splitlines()[:1]
         out.write("rcce    x%d cores: %12d cycles  %s\n"
@@ -190,7 +199,7 @@ def cmd_run(args, out):
 
 
 def cmd_bench(args, out):
-    harness = ExperimentHarness(num_ues=args.ues)
+    harness = ExperimentHarness(num_ues=args.ues, engine=args.engine)
     if args.figure == "6.1":
         rows = harness.figure_6_1()
         out.write(render_bars(rows, "benchmark", "speedup",

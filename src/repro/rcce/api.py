@@ -161,6 +161,10 @@ class RCCECoreRuntime:
         self.rank = rank
         self.core_id = world.core_map[rank]
         self._collective_round = 0
+        # mesh topology and the rank->core map are fixed for the
+        # world's lifetime, so hop counts to each peer are memoized
+        # (RCCE_send/recv/flag/bcast/reduce all price messages by hops)
+        self._hops_to = {}
 
     # -- builtin registry ---------------------------------------------------
 
@@ -374,8 +378,12 @@ class RCCECoreRuntime:
 
     def _transfer_cost(self, peer_rank, nbytes):
         """One message = a bulk copy staged through the peer's MPB."""
-        peer_core = self.world.core_map[peer_rank % self.world.num_ues]
-        hops = self.world.chip.mesh.hops(self.core_id, peer_core)
+        peer = peer_rank % self.world.num_ues
+        hops = self._hops_to.get(peer)
+        if hops is None:
+            peer_core = self.world.core_map[peer]
+            hops = self._hops_to[peer] = self.world.chip.mesh.hops(
+                self.core_id, peer_core)
         words = max((nbytes + 3) // 4, 1)
         config = self.world.chip.config
         return (2 * config.mpb_base_cycles

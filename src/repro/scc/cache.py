@@ -61,18 +61,25 @@ class Cache:
     def access(self, addr):
         """Touch ``addr``; returns True on hit, False on miss (and
         fills the line, evicting LRU if needed)."""
-        index, tag = self._locate(addr)
+        # _locate() is inlined here: this is the single hottest call in
+        # the whole simulator (every private/MPB access, twice on L1
+        # misses), and the hit path below is already just one dict
+        # probe plus an LRU move_to_end
+        line = addr // self.line_size
+        index = line % self.num_sets
+        tag = line // self.num_sets
         cache_set = self.sets.get(index)
         if cache_set is None:
             cache_set = self.sets[index] = OrderedDict()
-        if tag in cache_set:
+        elif tag in cache_set:
             cache_set.move_to_end(tag)
             self.stats.hits += 1
             return True
-        self.stats.misses += 1
+        stats = self.stats
+        stats.misses += 1
         if len(cache_set) >= self.assoc:
             cache_set.popitem(last=False)
-            self.stats.evictions += 1
+            stats.evictions += 1
         cache_set[tag] = True
         return False
 

@@ -16,8 +16,16 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_EVENTS
 from repro.scc.cache import Cache
 from repro.scc.dram import MemoryController
-from repro.scc.lut import LookupTable
-from repro.scc.memmap import AddressSpace, SegmentKind
+from repro.scc.lut import WINDOW_BYTES, LookupTable
+from repro.scc.memmap import (
+    MPB_BASE,
+    PRIVATE_BASE,
+    PRIVATE_WINDOW,
+    SHARED_BASE,
+    SHARED_SIZE,
+    AddressSpace,
+    SegmentKind,
+)
 from repro.scc.mesh import Mesh
 from repro.scc.mpb import MessagePassingBuffer
 from repro.scc.power import PowerModel
@@ -54,6 +62,13 @@ class SCCChip:
                      for i in range(config.num_cores)]
         self._reconfigured_cores = set()
         self._lock = threading.Lock()
+        # Epoch for the interpreter's per-site memory-access inline
+        # caches: any change to address translation (LUT reprogramming,
+        # a new split window) bumps it, invalidating every cached
+        # (window, cost-function) entry.  Increments are GIL-atomic.
+        self.mem_epoch = 0
+        self._site_cache_holders = []   # weakrefs to Interpreters
+        self.address_space.on_layout_change(self._bump_mem_epoch)
         # observability: every component's counters surface through one
         # registry; event tracing is a no-op until a run attaches a
         # tracer (repro.obs) — both near-zero cost when idle
@@ -122,6 +137,7 @@ class SCCChip:
                             {"link": "%s->%s" % link}, count))
         samples.append(("gauge", "scc_power_watts", {},
                         self.power.chip_power_watts()))
+        samples.append(("gauge", "scc_mem_epoch", {}, self.mem_epoch))
         return samples
 
     def _reset_counters(self):
@@ -157,10 +173,34 @@ class SCCChip:
         lut = self.luts[core]
         entry = lut.mark_shared(addr) if shared else lut.mark_private(addr)
         self._reconfigured_cores.add(core)
+        self._bump_mem_epoch()
         if shared:
             self.cores[core].l1.invalidate_all()  # stale lines die
             self.cores[core].l2.invalidate_all()
         return entry
+
+    def _bump_mem_epoch(self):
+        """Invalidate every interpreter's memory-access inline caches.
+
+        Push-style invalidation: entries carry no epoch stamp and pay
+        no versioning check per access; instead each registered holder's
+        cache dict is cleared here, on the (rare) LUT/layout change."""
+        self.mem_epoch += 1
+        holders = self._site_cache_holders
+        if holders:
+            live = []
+            for ref in holders:
+                holder = ref()
+                if holder is not None:
+                    holder._site_cache.clear()
+                    live.append(ref)
+            self._site_cache_holders = live
+
+    def register_site_cache_holder(self, interp):
+        """Register ``interp`` (weakly) for inline-cache invalidation
+        on ``mem_epoch`` bumps."""
+        import weakref
+        self._site_cache_holders.append(weakref.ref(interp))
 
     def access_cost(self, core, addr, kind="read", size=4, ts=0):
         """Cycle cost of one memory access from ``core``.  ``ts`` is
@@ -181,11 +221,140 @@ class SCCChip:
             return self._shared_cost(core, kind, ts)
         return self._mpb_cost(core, physical, kind, size, ts)
 
+    def access_fastpath(self, core, addr):
+        """Build one inline-cache entry for ``addr`` as seen by
+        ``core``: ``(lo, hi, fn)`` where ``fn(addr, kind, ts)`` prices
+        any scalar (size-4) access with ``lo <= addr < hi``, with side
+        effects identical to :meth:`access_cost`.
+
+        The entry bakes in the result of address resolution — segment
+        classification, split-window translation (as an affine delta),
+        and the LUT override for reconfigured cores — and delegates to
+        the live ``_private_cost``/``_shared_cost``/``_mpb_cost`` so
+        cache state, DRAM queueing, traffic recording, and trace events
+        stay exact.  Entries are only valid for the ``mem_epoch`` at
+        build time; callers must rebuild when the epoch changes."""
+        segment, physical = self.address_space.resolve(addr)
+        delta = physical - addr
+        if segment is SegmentKind.PRIVATE:
+            lo = PRIVATE_BASE
+            hi = PRIVATE_BASE + PRIVATE_WINDOW * self.config.num_cores
+        elif segment is SegmentKind.SHARED:
+            if SHARED_BASE <= addr < SHARED_BASE + SHARED_SIZE:
+                lo, hi = SHARED_BASE, SHARED_BASE + SHARED_SIZE
+            else:  # shared-DRAM tail of a split window
+                split = self.address_space._split_of(addr)
+                lo = split.base + split.on_chip_bytes
+                hi = split.end
+        else:
+            if MPB_BASE <= addr < MPB_BASE + self.config.mpb_total_bytes:
+                lo = MPB_BASE
+                hi = MPB_BASE + self.config.mpb_total_bytes
+            else:  # MPB head of a split window
+                split = self.address_space._split_of(addr)
+                lo, hi = split.base, split.base + split.on_chip_bytes
+        if core in self._reconfigured_cores:
+            # LUT overrides are per 16MB window (with the lookup's
+            # modulo-256 aliasing); clamp so the override baked into
+            # this entry is constant across its whole range.
+            window_lo = addr - addr % WINDOW_BYTES
+            lo = max(lo, window_lo)
+            hi = min(hi, window_lo + WINDOW_BYTES)
+            entry = self.luts[core].lookup(addr)
+            if entry is not None and entry.kind in (
+                    SegmentKind.PRIVATE, SegmentKind.SHARED):
+                segment = entry.kind
+
+        state = self.cores[core]
+        if segment is SegmentKind.PRIVATE:
+            # the L1 hit probe is fully inlined (one dict lookup plus
+            # an LRU move_to_end): cache internals are never replaced —
+            # configure_window clears ``sets`` in place and counter
+            # resets mutate the same CacheStats — so the bound dict and
+            # stats objects stay valid for the life of the entry.  The
+            # miss branch touches nothing and delegates to
+            # _private_cost, whose own L1 probe records the miss.
+            l1 = state.l1
+
+            def fn(addr, kind, ts, _acc=state.accesses,
+                   _seg=SegmentKind.PRIVATE, _ls=l1.line_size,
+                   _ns=l1.num_sets, _sets=l1.sets, _stats=l1.stats,
+                   _l1_hit=self.config.l1_hit_cycles,
+                   _slow=self._private_cost, _state=state,
+                   _core=core, _delta=delta):
+                _acc[_seg] += 1
+                addr += _delta
+                line = addr // _ls
+                cache_set = _sets.get(line % _ns)
+                if cache_set is not None:
+                    tag = line // _ns
+                    if tag in cache_set:
+                        cache_set.move_to_end(tag)
+                        _stats.hits += 1
+                        return _l1_hit
+                return _slow(_core, _state, addr, ts)
+        elif segment is SegmentKind.SHARED:
+            # routing is static per core: controller id, hop count, and
+            # route endpoints are baked in; queue depth and the event
+            # sink stay live reads
+            controller_id = self.mesh.controller_of(core)
+            hops = self.mesh.hops_to_controller(core, controller_id)
+
+            def fn(addr, kind, ts, _acc=state.accesses,
+                   _seg=SegmentKind.SHARED, _mesh=self.mesh,
+                   _src=self.mesh.coords_of(core),
+                   _dst=self.mesh.controller_coords(controller_id),
+                   _cycles=self.controllers[controller_id].access_cycles,
+                   _hops=hops, _chip=self, _core=core,
+                   _mc="MC%d" % controller_id,
+                   _penalty=self.config.uncached_shared_penalty):
+                _acc[_seg] += 1
+                if _mesh.record_traffic:
+                    _mesh.record_route(_src, _dst)
+                cost = _cycles(kind, _hops)
+                events = _chip.events
+                if events.enabled:
+                    events.instant(
+                        _core, ts, "mesh_route", "mesh",
+                        {"to": _mc, "hops": _hops, "kind": kind,
+                         "segment": "shared"}, pid=_chip.trace_pid)
+                return cost + _penalty
+        else:
+            # same inline L1 hit probe as the private entry; read
+            # misses fall back to Cache.access, which re-probes and
+            # records the miss before the tail runs
+            l1 = state.l1
+
+            def fn(addr, kind, ts, _acc=state.accesses,
+                   _seg=SegmentKind.MPB, _l1=l1.access, _ls=l1.line_size,
+                   _ns=l1.num_sets, _sets=l1.sets, _stats=l1.stats,
+                   _l1_hit=self.config.l1_hit_cycles,
+                   _tail=self._mpb_tail, _core=core, _delta=delta):
+                _acc[_seg] += 1
+                addr += _delta
+                if kind == "read":
+                    line = addr // _ls
+                    cache_set = _sets.get(line % _ns)
+                    if cache_set is not None:
+                        tag = line // _ns
+                        if tag in cache_set:
+                            cache_set.move_to_end(tag)
+                            _stats.hits += 1
+                            return _l1_hit
+                    _l1(addr)  # records the miss and fills the line
+                else:
+                    _l1(addr)  # write-through: line present after
+                return _tail(_core, addr, kind, 4, ts)
+        return lo, hi, fn
+
     def _private_cost(self, core, state, addr, ts=0):
         if state.l1.access(addr):
             return self.config.l1_hit_cycles
         if state.l2.access(addr):
             return self.config.l2_hit_cycles
+        return self._private_miss(core, ts)
+
+    def _private_miss(self, core, ts):
         controller_id = self.mesh.controller_of(core)
         hops = self.mesh.hops_to_controller(core, controller_id)
         if self.events.enabled:
@@ -220,6 +389,9 @@ class SCCChip:
             return self.config.l1_hit_cycles
         if kind == "write":
             state.l1.access(addr)  # write-through: line present after
+        return self._mpb_tail(core, addr, kind, size, ts)
+
+    def _mpb_tail(self, core, addr, kind, size, ts):
         offset = self.address_space.mpb_offset(addr)
         if self.mesh.record_traffic or self.events.enabled:
             owner = self.mpb.owner_of_offset(offset)

@@ -22,6 +22,12 @@ class SegmentKind(Enum):
     def __str__(self):
         return self.value
 
+    # Enum.__hash__ is a Python-level function hashing the member name;
+    # members compare by identity, so the C-level identity hash is both
+    # consistent and much cheaper.  Per-segment access counters are
+    # dicts keyed by these members and sit on the simulator's hot path.
+    __hash__ = object.__hash__
+
 
 PRIVATE_BASE = 0x1000_0000
 PRIVATE_WINDOW = 16 * 1024 * 1024          # per-core private window
@@ -118,6 +124,17 @@ class AddressSpace:
         self._split_next = SPLIT_BASE
         self.allocations = []
         self.split_segments = []  # sorted by base
+        self._layout_listeners = []
+
+    def on_layout_change(self, callback):
+        """Invoke ``callback()`` whenever the address translation map
+        changes (a new split window appears).  The chip uses this to
+        invalidate the interpreter's per-site memory-access caches."""
+        self._layout_listeners.append(callback)
+
+    def _notify_layout_change(self):
+        for callback in self._layout_listeners:
+            callback()
 
     # -- classification ------------------------------------------------------
 
@@ -214,6 +231,7 @@ class AddressSpace:
         self._split_next += nbytes
         self.split_segments.append(segment)
         self.allocations.append(segment)
+        self._notify_layout_change()
         return segment
 
     def mpb_free_bytes(self):

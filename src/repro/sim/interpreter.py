@@ -79,7 +79,7 @@ class Interpreter:
     """Executes one simulated core's view of a program."""
 
     def __init__(self, unit, chip, core_id=0, memory=None, runtime=None,
-                 max_steps=200_000_000, tracer=None):
+                 max_steps=200_000_000, tracer=None, engine="compiled"):
         self.unit = unit
         self.chip = chip
         self.core_id = core_id
@@ -101,6 +101,14 @@ class Interpreter:
         self.current_function = None
         self._rand_state = 12345 + core_id  # deterministic per core
 
+        # fast-path state shared by both engines (the compiled engine's
+        # closures reach these attributes directly)
+        self._mem_get = memory.get
+        self._mem_set = memory.put
+        self._global_addr = {}
+        self._site_cache = {}   # site id -> (epoch, lo, hi, cost fn)
+        self.site_fills = 0     # inline-cache misses (diagnostics)
+
         stack_segment = chip.address_space.alloc_private(
             core_id, STACK_BYTES, "stack-core%d" % core_id)
         self.stack = StackAllocator(stack_segment.base, STACK_BYTES)
@@ -110,6 +118,33 @@ class Interpreter:
             self.builtins.update(runtime.builtins())
 
         self.load_globals()
+
+        if engine == "compiled":
+            from repro.sim import compile as sim_compile
+            self._compiled = sim_compile.compile_unit(unit)
+            self._invoke = sim_compile.invoke
+            chip.register_site_cache_holder(self)
+            # Builtins evaluate their arguments through eval_expr; in
+            # compiled mode those arguments arrive as pre-compiled
+            # BoundArg thunks, while tree-fallback function bodies
+            # still pass raw AST nodes.  An instance-level override
+            # routes each to the right evaluator.
+            tree_eval = Interpreter.eval_expr
+            bound_arg = sim_compile.BoundArg
+
+            def eval_expr(node, _self=self, _thunk=bound_arg,
+                          _tree=tree_eval):
+                if node.__class__ is _thunk:
+                    return node.fn(node.I, node.F)
+                return _tree(_self, node)
+            self.eval_expr = eval_expr
+        elif engine == "tree":
+            self._compiled = None
+            self._invoke = None
+        else:
+            raise ValueError("unknown engine %r (use 'compiled' or"
+                             " 'tree')" % engine)
+        self.engine = engine
 
     # -- setup --------------------------------------------------------------
 
@@ -124,6 +159,7 @@ class Interpreter:
             segment = self.chip.address_space.alloc_private(
                 self.core_id, size, decl.name)
             self.globals_env[decl.name] = (segment.base, decl.ctype)
+            self._global_addr[decl.name] = segment.base
             if self.tracer is not None:
                 self.tracer.register(decl.name, segment.base, size,
                                      "global")
@@ -210,14 +246,31 @@ class Interpreter:
                 "exceeded %d interpreter steps on core %d"
                 % (self.max_steps, self.core_id))
         if not self.steps & (RETIRE_BATCH - 1):
-            events = self.chip.events
-            if events.enabled:
-                events.complete(
-                    self.core_id, self._batch_start_cycles,
-                    self.cycles - self._batch_start_cycles,
-                    "retire_batch", "cpu", {"steps": RETIRE_BATCH},
-                    pid=self.chip.trace_pid)
-                self._batch_start_cycles = self.cycles
+            self._batch_tick()
+
+    def _batch_tick(self):
+        """Flush one retire batch: cycles accumulated locally since the
+        last batch boundary become a traced "retire_batch" span.  Both
+        engines hit this every RETIRE_BATCH steps (the compiled
+        engine's closures inline the mask check and call here)."""
+        events = self.chip.events
+        if events.enabled:
+            events.complete(
+                self.core_id, self._batch_start_cycles,
+                self.cycles - self._batch_start_cycles,
+                "retire_batch", "cpu", {"steps": RETIRE_BATCH},
+                pid=self.chip.trace_pid)
+            self._batch_start_cycles = self.cycles
+
+    def _fill_site(self, site, addr):
+        """Inline-cache miss: rebuild one load/store site's entry from
+        the chip.  Entries carry no version stamp — the chip clears the
+        whole ``_site_cache`` dict when address translation changes
+        (see ``SCCChip._bump_mem_epoch``), so presence means valid."""
+        entry = self.chip.access_fastpath(self.core_id, addr)
+        self._site_cache[site] = entry
+        self.site_fills += 1
+        return entry
 
     # -- variable binding -----------------------------------------------------------
 
@@ -242,6 +295,16 @@ class Interpreter:
 
     def call_function(self, name, args=()):
         """Call a user-defined function by name with Python values."""
+        if self._compiled is not None:
+            cf = self._compiled.functions.get(name)
+            if cf is None:
+                raise InterpreterError("undefined function %r" % name)
+            return self._invoke(self, cf, args)
+        return self._call_function_tree(name, args)
+
+    def _call_function_tree(self, name, args=()):
+        """The tree-walking call path (also the fallback the compiled
+        engine uses for functions it could not lower)."""
         func = self.functions.get(name)
         if func is None:
             raise InterpreterError("undefined function %r" % name)

@@ -13,9 +13,15 @@ class Memory:
     like the zeroed pages a real OS hands out.
     """
 
+    __slots__ = ("_data", "_lock", "get", "put")
+
     def __init__(self):
         self._data = {}
         self._lock = threading.Lock()
+        # pre-bound accessors for the compiled engine's hot path (one
+        # attribute fetch instead of a method call per load/store)
+        self.get = self._data.get
+        self.put = self._data.__setitem__
 
     def load(self, addr, default=0):
         # dict reads are atomic under the GIL; no lock on the hot path
@@ -48,6 +54,8 @@ class StackAllocator:
     window.  Frames remember the stack pointer and restore it on exit
     so recursion does not leak address space."""
 
+    __slots__ = ("base", "size", "sp")
+
     def __init__(self, base, size):
         self.base = base
         self.size = size
@@ -72,6 +80,8 @@ class StackAllocator:
 
 class _StackFrame:
     """Context manager restoring the stack pointer."""
+
+    __slots__ = ("allocator", "saved_sp")
 
     def __init__(self, allocator):
         self.allocator = allocator

@@ -35,7 +35,16 @@ class ThreadRecord:
 
 
 class PthreadRuntime:
-    """pthread_* builtins for one single-core process."""
+    """pthread_* builtins for one single-core process.
+
+    Builtins receive *unevaluated* argument nodes and evaluate them
+    through ``interp.eval_expr``; under the compiled engine those
+    nodes are bound-closure thunks rather than AST nodes, and
+    ``eval_expr`` dispatches either kind, so the same left-to-right
+    evaluation (and cycle charging) happens under both engines.
+    """
+
+    __slots__ = ("threads", "order", "_next_tid", "_current_tid")
 
     def __init__(self):
         self.threads = {}

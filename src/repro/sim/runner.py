@@ -48,7 +48,10 @@ class RunResult:
 
 def _as_unit(program):
     if isinstance(program, str):
-        return parse_program(program)
+        # the runner never mutates the AST, so it can share the parse
+        # cache's master copy (repeat benchmark runs of one source then
+        # also share the compiled-closure cache keyed on the unit)
+        return parse_program(program, share=True)
     return program
 
 
@@ -76,7 +79,7 @@ def _prepare_chip(chip, interpreters, cores):
 
 
 def run_pthread_single_core(program, config=None, chip=None, core=0,
-                            max_steps=200_000_000):
+                            max_steps=200_000_000, engine="compiled"):
     """Run a Pthreads program with all threads on one core."""
     unit = _as_unit(program)
     config = config or Table61Config()
@@ -85,7 +88,8 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     runtime = PthreadRuntime()
     interpreters = []
     _prepare_chip(chip, interpreters, [core])
-    interp = Interpreter(unit, chip, core, memory, runtime, max_steps)
+    interp = Interpreter(unit, chip, core, memory, runtime, max_steps,
+                         engine=engine)
     interpreters.append(interp)
     chip.activate_core(core)
     try:
@@ -125,11 +129,17 @@ class _CoreError:
 
 
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
-             max_steps=200_000_000):
+             max_steps=200_000_000, engine="compiled"):
     """Run a translated RCCE program on ``num_ues`` simulated cores."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
+    if engine == "compiled":
+        # lower the unit once, before any core thread spawns: the
+        # compiled-unit cache is shared and this keeps thread startup
+        # deterministic and contention-free
+        from repro.sim.compile import compile_unit
+        compile_unit(unit)
     interpreters = []
     _prepare_chip(chip, interpreters,
                   list(core_map) if core_map else range(num_ues))
@@ -141,7 +151,7 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
         runtime = world.runtime_for(rank)
         try:
             interp = Interpreter(unit, chip, runtime.core_id, memory,
-                                 runtime, max_steps)
+                                 runtime, max_steps, engine=engine)
             interpreters.append(interp)
             try:
                 interp.run_main()

@@ -1,0 +1,60 @@
+"""The parse memoization layer: repeat parses of one source must come
+from cache, callers must get independent (or explicitly shared) ASTs,
+and differing predefines/headers must not collide."""
+
+import pytest
+
+from repro.cfront.frontend import (
+    parse_cache_clear,
+    parse_cache_info,
+    parse_program,
+)
+
+SOURCE = "int x = 3;\nint main(void) { return x; }"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    parse_cache_clear()
+    yield
+    parse_cache_clear()
+
+
+def test_repeat_parse_hits_cache():
+    parse_program(SOURCE)
+    before = parse_cache_info()
+    parse_program(SOURCE)
+    after = parse_cache_info()
+    assert after["hits"] == before["hits"] + 1
+    assert after["misses"] == before["misses"]
+
+
+def test_default_returns_are_independent_copies():
+    first = parse_program(SOURCE)
+    second = parse_program(SOURCE)
+    assert first is not second
+    # mutating one caller's AST must not leak into the next caller's
+    first.decls[0].name = "mutated"
+    assert parse_program(SOURCE).decls[0].name != "mutated"
+
+
+def test_share_returns_the_master_copy():
+    shared_one = parse_program(SOURCE, share=True)
+    shared_two = parse_program(SOURCE, share=True)
+    assert shared_one is shared_two
+
+
+def test_predefines_are_part_of_the_key():
+    with_a = parse_program("int main(void) { return N; }",
+                           predefined={"N": 1})
+    with_b = parse_program("int main(void) { return N; }",
+                           predefined={"N": 2})
+    assert parse_cache_info()["misses"] == 2
+    assert with_a is not with_b
+
+
+def test_cache_is_bounded():
+    for index in range(80):
+        parse_program("int main(void) { return %d; }" % index)
+    info = parse_cache_info()
+    assert info["entries"] <= info["max"]

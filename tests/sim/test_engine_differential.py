@@ -1,0 +1,369 @@
+"""Differential suite: the closure-compiled engine must be trace-exact
+against the reference tree-walker.
+
+Every comparison checks simulated cycles, steps, program stdout, and
+the chip's full metrics snapshot — not just the final answer — so a
+compiled-engine shortcut that drifts the timing model by a single cycle
+fails here.  The corpus is the benchmark suite (scaled down for test
+speed; `benchmarks/bench_interp_speed.py` covers the full-size set)
+plus hand-written kernels for each language feature, plus
+hypothesis-generated arithmetic/pointer kernels.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import ExperimentHarness
+from repro.bench.programs import benchmark_source
+from repro.bench.workloads import Workload, scaled_config
+from repro.cfront.frontend import parse_program
+from repro.core.framework import TranslationFramework
+from repro.scc.chip import SCCChip
+from repro.scc.config import SCCConfig
+from repro.sim.compile import compile_unit
+from repro.sim.interpreter import Interpreter
+from repro.sim.machine import Memory
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+_TINY_CONFIG = dict(num_cores=4, mesh_columns=2, mesh_rows=1,
+                    cores_per_tile=2, num_memory_controllers=1)
+
+
+def _tiny_chip():
+    return SCCChip(SCCConfig(**_TINY_CONFIG))
+
+
+def _snapshot(result):
+    return {
+        "cycles": result.cycles,
+        "per_core": dict(result.per_core_cycles),
+        "stdout": result.stdout(),
+        "metrics": result.metrics,
+    }
+
+
+def assert_engines_agree_pthread(source, max_steps=50_000_000):
+    runs = {}
+    for engine in ("tree", "compiled"):
+        runs[engine] = _snapshot(run_pthread_single_core(
+            source, chip=_tiny_chip(), max_steps=max_steps,
+            engine=engine))
+    assert runs["compiled"] == runs["tree"]
+    return runs["compiled"]
+
+
+# -- feature kernels -------------------------------------------------------------
+
+FEATURE_KERNELS = {
+    "arith_and_casts": """
+        int main(void) {
+            int a = 7, b = -3;
+            long big = 100000;
+            double x = 2.5;
+            int c = (int)(x * a) + b / 2 - b % 2;
+            float f = (float)c / 4;
+            return c + (int)f + (int)(big % 97);
+        }
+    """,
+    "control_flow": """
+        int classify(int n) {
+            switch (n % 4) {
+            case 0: return 10;
+            case 1:
+            case 2: return 20;
+            default: break;
+            }
+            return 30;
+        }
+        int main(void) {
+            int total = 0, i = 0;
+            for (i = 0; i < 20; i++) {
+                if (i == 3) continue;
+                if (i == 17) break;
+                total += classify(i);
+            }
+            do { total++; } while (total < 0);
+            while (total > 500) total -= 7;
+            return total;
+        }
+    """,
+    "pointers_and_arrays": """
+        int sum(int *p, int n) {
+            int total = 0;
+            int *end = p + n;
+            while (p < end) total += *p++;
+            return total;
+        }
+        int main(void) {
+            int data[16];
+            int i;
+            for (i = 0; i < 16; i++) data[i] = i * i;
+            data[3] = -data[3];
+            return sum(data, 16) + *(data + 5);
+        }
+    """,
+    "globals_and_recursion": """
+        int calls = 0;
+        int fib(int n) {
+            calls++;
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) {
+            int f = fib(10);
+            return f + calls;
+        }
+    """,
+    "float_kernels": """
+        double dot(double *a, double *b, int n) {
+            double acc = 0.0;
+            int i;
+            for (i = 0; i < n; i++) acc += a[i] * b[i];
+            return acc;
+        }
+        int main(void) {
+            double xs[8], ys[8];
+            int i;
+            for (i = 0; i < 8; i++) { xs[i] = i * 0.5; ys[i] = 8 - i; }
+            return (int)dot(xs, ys, 8);
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FEATURE_KERNELS))
+def test_feature_kernel_differential(name):
+    assert_engines_agree_pthread(FEATURE_KERNELS[name])
+
+
+# -- benchmark corpus (scaled for test speed) ---------------------------------
+
+_SMALL_WORKLOADS = {
+    "pi": Workload("pi", {"steps": 512}, 32 * 8),
+    "sum35": Workload("sum35", {"limit": 512}, 32 * 8),
+    "primes": Workload("primes", {"limit": 256}, 32 * 4),
+    "stream": Workload("stream", {"n": 128}, 3 * 128 * 8 + 32 * 8),
+    "dot": Workload("dot", {"n": 192}, 2 * 192 * 8 + 32 * 8),
+    "lu": Workload("lu", {"batch": 4, "dim": 8},
+                   4 * 8 * 8 * 8 + 32 * 8),
+}
+
+
+def _small_harness(engine):
+    return ExperimentHarness(num_ues=4, workloads=dict(_SMALL_WORKLOADS),
+                             config_factory=scaled_config, engine=engine)
+
+
+@pytest.mark.parametrize("name", sorted(_SMALL_WORKLOADS))
+@pytest.mark.parametrize("configuration",
+                         ["pthread", "rcce-off", "rcce-on"])
+def test_bench_corpus_differential(name, configuration):
+    runs = {}
+    for engine in ("tree", "compiled"):
+        run = _small_harness(engine).run(name, configuration)
+        runs[engine] = {
+            "cycles": run.cycles,
+            "per_core": dict(run.result.per_core_cycles),
+            "stdout": run.result.stdout(),
+            "metrics": run.instrumentation["metrics"],
+        }
+    assert runs["compiled"] == runs["tree"]
+
+
+# -- hypothesis: generated arithmetic/pointer kernels --------------------------
+
+_ops = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^",
+                        "<<", ">>", "<", "<=", "==", "!=", ">", ">="])
+
+
+@st.composite
+def _expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(1, 50)))
+        if choice == 1:
+            return "v%d" % draw(st.integers(0, 3))
+        return "data[%d]" % draw(st.integers(0, 7))
+    op = draw(_ops)
+    left = draw(_expr(depth=depth + 1))
+    right = draw(_expr(depth=depth + 1))
+    if op in ("/", "%"):
+        right = "(%s | 1)" % right  # keep divisors nonzero
+    if op in ("<<", ">>"):
+        right = "(%s & 7)" % right  # keep shifts in range
+    return "(%s %s %s)" % (left, op, right)
+
+
+@given(exprs=st.lists(_expr(), min_size=1, max_size=4),
+       seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_generated_kernel_differential(exprs, seed):
+    body = "".join("acc += %s;\n        p[%d] = acc;\n"
+                   % (expr, index % 8)
+                   for index, expr in enumerate(exprs))
+    source = """
+        int data[8];
+        int main(void) {
+            int v0 = %d, v1 = 3, v2 = -7, v3 = 11;
+            int acc = 0;
+            int *p = data;
+            int i;
+            for (i = 0; i < 8; i++) data[i] = i + v0;
+            %s
+            return acc;
+        }
+    """ % (seed % 13, body)
+    assert_engines_agree_pthread(source)
+
+
+# -- unit tests: the machinery behind the speedup ------------------------------
+
+
+def test_compiled_is_default_engine():
+    unit = parse_program("int main(void) { return 0; }")
+    interp = Interpreter(unit, _tiny_chip(), 0, Memory())
+    assert interp.engine == "compiled"
+    assert interp._compiled is not None
+
+
+def test_unknown_engine_rejected():
+    unit = parse_program("int main(void) { return 0; }")
+    with pytest.raises(ValueError):
+        Interpreter(unit, _tiny_chip(), 0, Memory(), engine="jit")
+
+
+def test_compile_unit_cached_per_unit():
+    unit = parse_program("int main(void) { return 4; }")
+    assert compile_unit(unit) is compile_unit(unit)
+
+
+def test_goto_raises_identically_in_both_engines():
+    """goto is unsupported at *runtime*: it compiles to a closure that
+    raises the tree-walker's exact error when (and only when) executed."""
+    source = """
+        int main(void) {
+            int n = 0;
+            goto out;
+        out:
+            return n;
+        }
+    """
+    from repro.sim.interpreter import InterpreterError
+    messages = {}
+    for engine in ("tree", "compiled"):
+        unit = parse_program(source)
+        interp = Interpreter(unit, _tiny_chip(), 0, Memory(),
+                             engine=engine)
+        with pytest.raises(InterpreterError) as excinfo:
+            interp.run_main()
+        messages[engine] = str(excinfo.value)
+    assert messages["compiled"] == messages["tree"]
+
+
+def test_uncompilable_function_falls_back_to_tree():
+    """A construct the compiler cannot lower exactly (a non-case item
+    in a switch body) marks the whole function for the tree-walker,
+    which must still produce identical results."""
+    from repro.cfront import c_ast
+
+    source = """
+        int main(void) {
+            int x = 2, r = 0;
+            switch (x) {
+            case 1: r = 10; break;
+            case 2: r = 20; break;
+            default: r = 30;
+            }
+            return r;
+        }
+    """
+    unit = parse_program(source)
+    switch = unit.find_function("main").body.items[1]
+    assert isinstance(switch, c_ast.Switch)
+    # an unlabeled statement before any case is dead code in C; the
+    # tree-walker skips it, the compiler refuses the whole function
+    switch.body.items.insert(0, c_ast.EmptyStmt())
+    compiled = compile_unit(unit)
+    assert "main" in compiled.fallbacks()
+
+    results = {}
+    for engine in ("tree", "compiled"):
+        interp = Interpreter(unit, _tiny_chip(), 0, Memory(),
+                             engine=engine)
+        value = interp.run_main()
+        results[engine] = (value, interp.cycles, interp.steps)
+    assert results["compiled"] == results["tree"]
+
+
+def test_site_cache_filled_and_invalidated():
+    source = """
+        int counter = 0;
+        int main(void) {
+            int i;
+            for (i = 0; i < 50; i++) counter += i;
+            return counter;
+        }
+    """
+    unit = parse_program(source)
+    chip = _tiny_chip()
+    interp = Interpreter(unit, chip, 0, Memory())
+    interp.run_main()
+    assert interp.site_fills > 0
+    assert interp._site_cache
+    fills_before = interp.site_fills
+    # a layout/LUT change must drop every cached site entry
+    chip._bump_mem_epoch()
+    assert not interp._site_cache
+    assert interp.site_fills == fills_before
+
+
+def test_configure_window_invalidates_site_caches():
+    chip = _tiny_chip()
+    epoch = chip.mem_epoch
+    chip.configure_window(1, 0x8000_0000, shared=True)
+    assert chip.mem_epoch == epoch + 1
+
+
+def test_split_alloc_invalidates_site_caches():
+    chip = _tiny_chip()
+    epoch = chip.mem_epoch
+    chip.address_space.alloc_split(4096, 1024, label="t")
+    assert chip.mem_epoch == epoch + 1
+
+
+def _chip_with_layout():
+    chip = _tiny_chip()
+    layout = {
+        "split": chip.address_space.alloc_split(4096, 1024, label="t"),
+        "private": chip.address_space.alloc_private(0, 256, label="p"),
+        "shared": chip.address_space.alloc_shared(256, label="s"),
+        "mpb": chip.address_space.alloc_mpb(256, label="m"),
+    }
+    return chip, layout
+
+
+def test_access_fastpath_matches_access_cost():
+    """The inline-cache entry must charge exactly what the slow path
+    charges — cost AND side effects — for every segment kind, within
+    its declared window."""
+    _, layout = _chip_with_layout()
+    probes = [layout["private"].base, layout["private"].base + 128,
+              layout["shared"].base, layout["mpb"].base,
+              layout["split"].base,              # MPB head
+              layout["split"].base + 2048]       # shared-DRAM tail
+    for addr in probes:
+        fast_chip, _ = _chip_with_layout()
+        slow_chip, _ = _chip_with_layout()
+        lo, hi, fn = fast_chip.access_fastpath(0, addr)
+        assert lo <= addr < hi
+        for offset in (0, 4, 8):
+            for kind in ("read", "write"):
+                assert (fn(addr + offset, kind, 0)
+                        == slow_chip.access_cost(
+                            0, addr + offset, kind))
+        for attribute in ("hits", "misses", "evictions"):
+            assert (getattr(fast_chip.cores[0].l1.stats, attribute)
+                    == getattr(slow_chip.cores[0].l1.stats, attribute))
+        assert fast_chip.cores[0].accesses == slow_chip.cores[0].accesses
