@@ -18,12 +18,32 @@ import sys
 
 from repro.bench.figures import render_bars
 from repro.bench.harness import ExperimentHarness
+from repro.cfront.errors import CFrontError
 from repro.core.framework import TranslationFramework
 from repro.core.reports import format_table, table_4_1, table_4_2
+from repro.faults import FaultSpecError, parse_fault_spec
 from repro.obs.export import write_chrome_trace, write_metrics_json
 from repro.obs.profile import PipelineProfiler
 from repro.obs.tracer import EventTracer
+from repro.rcce.api import RCCEAllocationError
+from repro.rcce.comm import CommDeadlockError
+from repro.sim.interpreter import InterpreterError
 from repro.sim.runner import run_pthread_single_core, run_rcce
+from repro.sim.watchdog import (
+    SimulationTimeout,
+    Watchdog,
+    WatchdogError,
+)
+
+# sysexits.h-style exit codes so scripts and CI can tell failure
+# classes apart (docs/robustness.md)
+EXIT_OK = 0            # success
+EXIT_ERROR = 1         # unexpected internal error
+EXIT_USAGE = 2         # bad command line (argparse's own code)
+EXIT_PARSE = 65        # EX_DATAERR: C parse / translation failure
+EXIT_NOINPUT = 66      # EX_NOINPUT: input file missing/unreadable
+EXIT_SIM = 70          # EX_SOFTWARE: simulated program failed
+EXIT_TIMEOUT = 75      # EX_TEMPFAIL: deadlock / step-budget timeout
 
 
 def build_parser():
@@ -62,6 +82,20 @@ def build_parser():
                      default="compiled",
                      help="interpreter engine: closure-compiled "
                      "(default) or the reference tree-walker")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject deterministic faults, e.g. "
+                     "'mpb_flip:p=1e-6,seed=7;mesh_drop:p=1e-4' "
+                     "(see docs/robustness.md; forces --engine tree)")
+    run.add_argument("--max-steps", type=int, default=200_000_000,
+                     help="per-core step budget before the run is "
+                     "aborted with a SimulationTimeout")
+    run.add_argument("--no-watchdog", action="store_true",
+                     help="disable deadlock/livelock detection for "
+                     "the RCCE run")
+    run.add_argument("--watchdog-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock bound for any single lock or "
+                     "barrier wait (default: 30s locks, 600s barriers)")
     _framework_args(run)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
@@ -86,6 +120,9 @@ def _framework_args(parser):
                         help="allow SRAM/DRAM split allocation (§4.4)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage pipeline wall times")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast on the first pipeline error "
+                        "instead of collecting a diagnostics report")
 
 
 def _read_source(path):
@@ -98,7 +135,10 @@ def _read_source(path):
 def _framework(args):
     kwargs = {"partition_policy": args.policy,
               "fold_threads": args.fold,
-              "allow_split": getattr(args, "split", False)}
+              "allow_split": getattr(args, "split", False),
+              # the CLI degrades gracefully by default: pass failures
+              # become a diagnostics report; --strict restores fail-fast
+              "strict": getattr(args, "strict", True)}
     if args.capacity is not None:
         kwargs["on_chip_capacity"] = args.capacity
     if getattr(args, "profile", False):
@@ -106,10 +146,21 @@ def _framework(args):
     return TranslationFramework(**kwargs)
 
 
-def cmd_translate(args, out):
+def _report_diagnostics(result, err):
+    """Render the pipeline report to ``err``; True when it has errors
+    (the caller should stop and exit ``EXIT_PARSE``)."""
+    report = result.report
+    if len(report):
+        err.write(report.render() + "\n")
+    return report.has_errors
+
+
+def cmd_translate(args, out, err):
     source = _read_source(args.source)
     framework = _framework(args)
     result = framework.translate(source)
+    if _report_diagnostics(result, err):
+        return EXIT_PARSE
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(result.rcce_source)
@@ -119,13 +170,15 @@ def cmd_translate(args, out):
     if framework.profiler is not None:
         # '// ' prefix keeps stdout a valid C translation unit
         out.write(framework.profiler.render("// ") + "\n")
-    return 0
+    return EXIT_OK
 
 
-def cmd_analyze(args, out):
+def cmd_analyze(args, out, err):
     source = _read_source(args.source)
     framework = _framework(args)
     result = framework.partition(source)
+    if _report_diagnostics(result, err):
+        return EXIT_PARSE
     if framework.profiler is not None:
         out.write(framework.profiler.render() + "\n\n")
     out.write(format_table(
@@ -141,14 +194,25 @@ def cmd_analyze(args, out):
         out.write("  %-12s %6d B  -> %s\n"
                   % (placement.info.name, placement.info.mem_size,
                      placement.bank))
-    return 0
+    return EXIT_OK
 
 
-def cmd_run(args, out):
+def cmd_run(args, out, err):
     from repro.scc.chip import SCCChip
     from repro.scc.config import Table61Config
 
     source = _read_source(args.source)
+    faults = getattr(args, "faults", None)
+    if faults:
+        parse_fault_spec(faults)  # fail early, before any simulation
+    watchdog = None
+    if args.mode in ("rcce", "compare") and \
+            not getattr(args, "no_watchdog", False):
+        if getattr(args, "watchdog_timeout", None) is not None:
+            watchdog = Watchdog(lock_timeout=args.watchdog_timeout,
+                                barrier_timeout=args.watchdog_timeout)
+        else:
+            watchdog = Watchdog()
     tracer = EventTracer() if getattr(args, "trace", None) else None
     snapshots = {}
     baseline = None
@@ -159,7 +223,9 @@ def cmd_run(args, out):
                                        name="pthread x1 core")
         baseline = run_pthread_single_core(source, pthread_chip.config,
                                            pthread_chip,
-                                           engine=args.engine)
+                                           max_steps=args.max_steps,
+                                           engine=args.engine,
+                                           faults=faults)
         snapshots["pthread"] = baseline.metrics
         out.write("pthread x1 core : %12d cycles  %s\n"
                   % (baseline.cycles,
@@ -170,7 +236,10 @@ def cmd_run(args, out):
             unit = parse_program(source)
         else:
             framework = _framework(args)
-            unit = framework.translate(source).unit
+            result = framework.translate(source)
+            if _report_diagnostics(result, err):
+                return EXIT_PARSE
+            unit = result.unit
             if framework.profiler is not None:
                 out.write(framework.profiler.render() + "\n")
         chip = SCCChip(Table61Config())
@@ -178,7 +247,8 @@ def cmd_run(args, out):
             chip.attach_events(tracer, pid=1,
                                name="rcce x%d cores" % args.ues)
         rcce = run_rcce(unit, args.ues, chip.config, chip,
-                        engine=args.engine)
+                        max_steps=args.max_steps, engine=args.engine,
+                        faults=faults, watchdog=watchdog)
         snapshots["rcce"] = rcce.metrics
         first = rcce.stdout().strip().splitlines()[:1]
         out.write("rcce    x%d cores: %12d cycles  %s\n"
@@ -195,10 +265,10 @@ def cmd_run(args, out):
     if getattr(args, "metrics", None):
         write_metrics_json(snapshots, args.metrics)
         out.write("metrics written to %s\n" % args.metrics)
-    return 0
+    return EXIT_OK
 
 
-def cmd_bench(args, out):
+def cmd_bench(args, out, err):
     harness = ExperimentHarness(num_ues=args.ues, engine=args.engine)
     if args.figure == "6.1":
         rows = harness.figure_6_1()
@@ -212,7 +282,7 @@ def cmd_bench(args, out):
         rows = harness.figure_6_3()
         out.write(render_bars(rows, "cores", "speedup",
                               title="Figure 6.3") + "\n")
-    return 0
+    return EXIT_OK
 
 
 COMMANDS = {
@@ -223,10 +293,35 @@ COMMANDS = {
 }
 
 
-def main(argv=None, out=None):
+def _fail(err, code, kind, exc):
+    message = str(exc).strip() or type(exc).__name__
+    err.write("repro: %s: %s\n" % (kind, message.splitlines()[0]))
+    # multi-line payloads (per-core dumps, deadlock cycles) follow the
+    # one-line summary so scripts can still grab line one
+    rest = message.splitlines()[1:]
+    if rest:
+        err.write("\n".join(rest) + "\n")
+    return code
+
+
+def main(argv=None, out=None, err=None):
     out = out or sys.stdout
+    err = err or sys.stderr
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args, out)
+    try:
+        return COMMANDS[args.command](args, out, err)
+    except FileNotFoundError as exc:
+        return _fail(err, EXIT_NOINPUT,
+                     "cannot read input", exc)
+    except FaultSpecError as exc:
+        return _fail(err, EXIT_USAGE, "bad --faults spec", exc)
+    except CFrontError as exc:
+        return _fail(err, EXIT_PARSE, "parse error", exc)
+    except (SimulationTimeout, WatchdogError,
+            CommDeadlockError) as exc:
+        return _fail(err, EXIT_TIMEOUT, "simulation timed out", exc)
+    except (InterpreterError, RCCEAllocationError) as exc:
+        return _fail(err, EXIT_SIM, "simulated program failed", exc)
 
 
 if __name__ == "__main__":

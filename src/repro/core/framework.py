@@ -13,6 +13,7 @@ Typical use::
 
 from repro.cfront import codegen
 from repro.cfront.frontend import parse_program
+from repro.diagnostics import PipelineReport
 from repro.ir.passes import Driver, ProgramContext
 from repro.core.insertion import (
     AddRCCEFinalizeCall,
@@ -78,6 +79,20 @@ class FrameworkResult:
     def pass_log(self):
         return list(self.context.pass_log)
 
+    @property
+    def diagnostics(self):
+        return list(self.context.diagnostics)
+
+    @property
+    def report(self):
+        """The run's findings as a :class:`PipelineReport`."""
+        return PipelineReport(self.context.diagnostics)
+
+    @property
+    def ok(self):
+        """True when no error-severity diagnostic was recorded."""
+        return self.report.ok
+
     def sharing_table(self):
         return self.variables.sharing_table()
 
@@ -88,7 +103,8 @@ class TranslationFramework:
     def __init__(self, on_chip_capacity=DEFAULT_ON_CHIP_CAPACITY,
                  partition_policy="size", num_cores=48,
                  thread_id_args=None, fold_threads=False,
-                 allow_split=False, verbose=False, profiler=None):
+                 allow_split=False, verbose=False, profiler=None,
+                 strict=True):
         self.on_chip_capacity = on_chip_capacity
         self.partition_policy = partition_policy
         self.num_cores = num_cores
@@ -102,6 +118,12 @@ class TranslationFramework:
         # optional repro.obs.profile.PipelineProfiler: spans around
         # every stage/pass of each pipeline run
         self.profiler = profiler
+        # strict=False degrades gracefully: a failing pass becomes an
+        # error Diagnostic on the result instead of an exception
+        self.strict = strict
+
+    def _driver(self, passes):
+        return Driver(passes, self.verbose, self.profiler, self.strict)
 
     # -- pipelines ------------------------------------------------------------
 
@@ -140,15 +162,14 @@ class TranslationFramework:
     def analyze(self, source, filename="<source>"):
         """Run Stages 1-3 only; returns a :class:`FrameworkResult`."""
         context = self._context(source, filename)
-        Driver(self.analysis_passes(), self.verbose,
-               self.profiler).run(context)
+        self._driver(self.analysis_passes()).run(context)
         return FrameworkResult(context)
 
     def partition(self, source, filename="<source>", policy=None):
         """Run Stages 1-4; returns a :class:`FrameworkResult`."""
         context = self._context(source, filename)
         passes = self.analysis_passes() + [self.partition_pass(policy)]
-        Driver(passes, self.verbose, self.profiler).run(context)
+        self._driver(passes).run(context)
         return FrameworkResult(context)
 
     def translate(self, source, filename="<source>", policy=None):
@@ -158,7 +179,7 @@ class TranslationFramework:
         passes = (self.analysis_passes()
                   + [self.partition_pass(policy)]
                   + self.translation_passes())
-        Driver(passes, self.verbose, self.profiler).run(context)
+        self._driver(passes).run(context)
         return FrameworkResult(context)
 
     @staticmethod

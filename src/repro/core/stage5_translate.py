@@ -366,9 +366,9 @@ class MutexConversion(TransformPass):
                 continue
             callee = node.callee_name
             if callee in ("pthread_mutex_lock", "pthread_mutex_trylock"):
-                self._rewrite_lock(node, "RCCE_acquire_lock")
+                self._rewrite_lock(context, node, "RCCE_acquire_lock")
             elif callee == "pthread_mutex_unlock":
-                self._rewrite_lock(node, "RCCE_release_lock")
+                self._rewrite_lock(context, node, "RCCE_release_lock")
             elif callee == "pthread_barrier_wait":
                 node.func = c_ast.Id("RCCE_barrier")
                 node.args = [c_ast.UnaryOp("&", c_ast.Id("RCCE_COMM_WORLD"))]
@@ -385,10 +385,25 @@ class MutexConversion(TransformPass):
                 return base.name
         return "<anonymous>"
 
-    def _rewrite_lock(self, call, rcce_name):
+    def _rewrite_lock(self, context, call, rcce_name):
         mutex = self._mutex_name(call.args[0]) if call.args else "<none>"
+        coord = getattr(call, "coord", None)
+        if mutex == "<anonymous>":
+            context.diagnose(
+                self.name, "warning",
+                "mutex expression is not a simple variable; all such "
+                "expressions share one test-and-set register", coord)
         if mutex not in self.lock_ids:
             self.lock_ids[mutex] = len(self.lock_ids) % self.num_cores
+            if len(self.lock_ids) > self.num_cores:
+                context.diagnose(
+                    self.name, "warning",
+                    "mutex %r is the %dth distinct mutex but the chip "
+                    "has only %d test-and-set registers; register %d is "
+                    "now shared between unrelated mutexes (may "
+                    "serialize, cannot deadlock-free alias)" % (
+                        mutex, len(self.lock_ids), self.num_cores,
+                        self.lock_ids[mutex]), coord)
         lock_id = self.lock_ids[mutex]
         call.func = c_ast.Id(rcce_name)
         call.args = [c_ast.Constant("int", lock_id, str(lock_id))]

@@ -1,0 +1,133 @@
+"""Structured pipeline diagnostics (graceful degradation support).
+
+The five-stage framework historically crashed on the first malformed
+construct.  In *lenient* mode the :class:`~repro.ir.passes.Driver`
+converts per-pass failures into :class:`Diagnostic` records and keeps
+going, so one bad construct yields a :class:`PipelineReport` covering
+everything that could still be analysed, instead of a traceback.
+Passes can also emit their own warnings through
+``ProgramContext.diagnose``.
+
+This module is deliberately dependency-free: it is imported by the
+pass driver (``repro.ir.passes``), the framework facade, and the CLI.
+"""
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 2, WARNING: 1, INFO: 0}
+
+
+class Diagnostic:
+    """One structured finding from a pipeline stage."""
+
+    __slots__ = ("stage", "severity", "message", "filename", "line",
+                 "column")
+
+    def __init__(self, stage, severity, message, filename=None,
+                 line=None, column=None):
+        if severity not in _SEVERITY_RANK:
+            raise ValueError("unknown severity %r" % severity)
+        self.stage = stage
+        self.severity = severity
+        self.message = message
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    @classmethod
+    def from_exception(cls, stage, exc):
+        """Build an error diagnostic from a raised exception, keeping
+        source coordinates when the exception carries them (the
+        frontend's :class:`~repro.cfront.errors.CFrontError` does)."""
+        message = getattr(exc, "message", None) or str(exc) \
+            or type(exc).__name__
+        return cls(stage, ERROR, "%s: %s" % (type(exc).__name__, message),
+                   filename=getattr(exc, "filename", None),
+                   line=getattr(exc, "line", None),
+                   column=getattr(exc, "column", None))
+
+    @classmethod
+    def from_coord(cls, stage, severity, message, coord):
+        """Build a diagnostic from an AST node's source coordinate."""
+        return cls(stage, severity, message,
+                   filename=getattr(coord, "filename", None),
+                   line=getattr(coord, "line", None),
+                   column=getattr(coord, "column", None))
+
+    @property
+    def is_error(self):
+        return self.severity == ERROR
+
+    def location(self):
+        parts = []
+        if self.filename:
+            parts.append(str(self.filename))
+        if self.line is not None:
+            parts.append("line %d" % self.line)
+        if self.column is not None:
+            parts.append("col %d" % self.column)
+        return ", ".join(parts)
+
+    def format(self):
+        where = self.location()
+        suffix = " (%s)" % where if where else ""
+        return "%s[%s]: %s%s" % (self.severity, self.stage,
+                                 self.message, suffix)
+
+    def as_dict(self):
+        return {"stage": self.stage, "severity": self.severity,
+                "message": self.message, "filename": self.filename,
+                "line": self.line, "column": self.column}
+
+    def __repr__(self):
+        return "Diagnostic(%r)" % self.format()
+
+
+class PipelineReport:
+    """All diagnostics of one pipeline run, ready to render."""
+
+    def __init__(self, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+
+    @property
+    def has_errors(self):
+        return any(d.is_error for d in self.diagnostics)
+
+    @property
+    def ok(self):
+        return not self.has_errors
+
+    def counts(self):
+        result = {ERROR: 0, WARNING: 0, INFO: 0}
+        for diagnostic in self.diagnostics:
+            result[diagnostic.severity] += 1
+        return result
+
+    def by_stage(self):
+        result = {}
+        for diagnostic in self.diagnostics:
+            result.setdefault(diagnostic.stage, []).append(diagnostic)
+        return result
+
+    def render(self):
+        if not self.diagnostics:
+            return "pipeline report: clean (no diagnostics)"
+        counts = self.counts()
+        lines = ["pipeline report: %d error(s), %d warning(s), "
+                 "%d note(s)" % (counts[ERROR], counts[WARNING],
+                                 counts[INFO])]
+        for diagnostic in self.diagnostics:
+            lines.append("  " + diagnostic.format())
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return {"counts": self.counts(),
+                "diagnostics": [d.as_dict() for d in self.diagnostics]}
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)

@@ -1,0 +1,362 @@
+"""Deterministic, seed-driven hardware fault injection for the SCC model.
+
+The paper's platform has no safety net — non-coherent caches, raw
+test-and-set registers, software barriers — so a robust runtime must
+survive (or at least *diagnose*) transient hardware misbehaviour.  This
+module perturbs the simulated chip on demand:
+
+``mpb_flip``
+    transient single-bit flips on MPB-segment reads;
+``dram_flip``
+    transient single-bit flips on private/shared DRAM reads;
+``mesh_delay``
+    mesh-link latency degradation (extra cycles on priced accesses);
+``mesh_drop``
+    mesh message drops — the access is retransmitted, paying its cost
+    twice;
+``core_stall``
+    a core freezes for N cycles once it passes a chosen cycle;
+``core_crash``
+    a core dies (raises :class:`CoreCrashFault`) once it passes a
+    chosen cycle.
+
+Faults are configured by a small textual spec (see
+:func:`parse_fault_spec`)::
+
+    mpb_flip:p=1e-6,seed=7
+    mesh_drop:p=0.01,seed=3;core_stall:core=2,at=50000,cycles=8000
+
+**Determinism contract.**  Every rule owns one pseudo-random stream
+*per core*, seeded from ``(rule seed, rule index, core id)``.  A core's
+memory accesses happen in a deterministic order inside its own thread,
+so injection decisions are reproducible run-to-run regardless of how
+the host schedules the simulator threads.  With no rules active the
+injector is never consulted: the chip and interpreter hooks are single
+``is not None`` branches, keeping cycles and traces byte-identical to
+an un-faulted build.
+
+Fault runs execute on the reference tree-walking engine (the runners
+force ``engine="tree"``): the closure-compiled engine inlines its
+memory fast paths, and the two engines are differentially verified to
+produce identical cycles, so nothing is lost.
+
+Every injection increments a ``fault_injections{kind,core}`` counter in
+the chip's metrics registry and, when a tracer is attached, emits a
+``fault_inject`` instant event on the victim core's track.
+"""
+
+import random
+import struct
+
+from repro.scc.memmap import SegmentKind
+from repro.sim.interpreter import InterpreterError
+
+MPB_FLIP = "mpb_flip"
+DRAM_FLIP = "dram_flip"
+MESH_DELAY = "mesh_delay"
+MESH_DROP = "mesh_drop"
+CORE_STALL = "core_stall"
+CORE_CRASH = "core_crash"
+
+FAULT_KINDS = (MPB_FLIP, DRAM_FLIP, MESH_DELAY, MESH_DROP, CORE_STALL,
+               CORE_CRASH)
+
+# Per-kind recognised parameters (beyond the common p= and seed=).
+_KIND_PARAMS = {
+    MPB_FLIP: ("bit",),
+    DRAM_FLIP: ("bit",),
+    MESH_DELAY: ("cycles",),
+    MESH_DROP: (),
+    CORE_STALL: ("core", "at", "cycles"),
+    CORE_CRASH: ("core", "at"),
+}
+
+DEFAULT_DELAY_CYCLES = 50
+DEFAULT_STALL_CYCLES = 10_000
+
+
+class FaultSpecError(ValueError):
+    """Malformed ``--faults`` specification."""
+
+
+class CoreCrashFault(InterpreterError):
+    """An injected fault killed a simulated core."""
+
+    def __init__(self, message, core=None, cycle=None):
+        super().__init__(message)
+        self.core = core
+        self.cycle = cycle
+
+
+class FaultRule:
+    """One parsed fault clause."""
+
+    __slots__ = ("kind", "p", "seed", "params")
+
+    def __init__(self, kind, p=1.0, seed=0, params=None):
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                "unknown fault kind %r (choose from %s)"
+                % (kind, ", ".join(FAULT_KINDS)))
+        if not 0.0 <= p <= 1.0:
+            raise FaultSpecError("probability p=%r outside [0, 1]" % p)
+        self.kind = kind
+        self.p = p
+        self.seed = seed
+        self.params = dict(params or {})
+
+    def __repr__(self):
+        extra = "".join(",%s=%s" % kv for kv in sorted(
+            self.params.items()))
+        return "FaultRule(%s:p=%g,seed=%d%s)" % (self.kind, self.p,
+                                                 self.seed, extra)
+
+
+def _parse_number(key, text):
+    try:
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        value = float(text)
+    except ValueError:
+        raise FaultSpecError("parameter %s=%r is not a number"
+                             % (key, text))
+    if value == int(value) and "e" not in text.lower() \
+            and "." not in text:
+        return int(value)
+    return value
+
+
+def parse_fault_spec(spec):
+    """Parse a fault spec string into a list of :class:`FaultRule`.
+
+    Grammar: clauses separated by ``;``; each clause is
+    ``kind[:key=value[,key=value...]]``.  Common keys: ``p``
+    (injection probability per opportunity, default 1.0) and ``seed``
+    (per-rule RNG seed, default 0).
+    """
+    if isinstance(spec, (list, tuple)):
+        return [rule if isinstance(rule, FaultRule) else FaultRule(**rule)
+                for rule in spec]
+    rules = []
+    for clause in str(spec).split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, tail = clause.partition(":")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                "unknown fault kind %r (choose from %s)"
+                % (kind, ", ".join(FAULT_KINDS)))
+        p, seed, params = 1.0, 0, {}
+        if tail.strip():
+            for item in tail.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                key = key.strip()
+                if not sep:
+                    raise FaultSpecError(
+                        "expected key=value, got %r in clause %r"
+                        % (item, clause))
+                number = _parse_number(key, value.strip())
+                if key == "p":
+                    p = float(number)
+                elif key == "seed":
+                    seed = int(number)
+                elif key in _KIND_PARAMS[kind]:
+                    params[key] = int(number)
+                else:
+                    raise FaultSpecError(
+                        "fault %r does not take parameter %r "
+                        "(allowed: p, seed%s)"
+                        % (kind, key,
+                           "".join(", " + name
+                                   for name in _KIND_PARAMS[kind])))
+        rules.append(FaultRule(kind, p, seed, params))
+    if not rules:
+        raise FaultSpecError("empty fault spec %r" % spec)
+    return rules
+
+
+def _flip_bits(value, rng, bit=None):
+    """Flip one bit of a simulated memory word.  Integers flip a bit of
+    their low 32; floats flip a bit of their IEEE-754 double image
+    (which may legitimately produce huge values or NaN — that is what a
+    real upset does).  Non-numeric values (pointers into the symbolic
+    heap) are left alone."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return value
+    if isinstance(value, int):
+        chosen = bit if bit is not None else rng.randrange(32)
+        return value ^ (1 << (chosen % 32))
+    chosen = bit if bit is not None else rng.randrange(64)
+    packed = struct.pack("<Q", struct.unpack(
+        "<Q", struct.pack("<d", value))[0] ^ (1 << (chosen % 64)))
+    flipped = struct.unpack("<d", packed)[0]
+    return flipped
+
+
+_FLIP_SEGMENTS = {
+    MPB_FLIP: (SegmentKind.MPB,),
+    DRAM_FLIP: (SegmentKind.PRIVATE, SegmentKind.SHARED),
+}
+
+
+class FaultInjector:
+    """Applies a list of :class:`FaultRule` to one simulated chip run.
+
+    One injector serves one run on one chip; build a fresh injector per
+    run so per-core RNG streams restart from their seeds (that is the
+    determinism contract).
+    """
+
+    COLLECTOR_NAME = "faults.injector"
+
+    def __init__(self, rules):
+        if isinstance(rules, str):
+            rules = parse_fault_spec(rules)
+        self.rules = list(rules)
+        self.flip_rules = [
+            (index, rule) for index, rule in enumerate(self.rules)
+            if rule.kind in (MPB_FLIP, DRAM_FLIP)]
+        self.latency_rules = [
+            (index, rule) for index, rule in enumerate(self.rules)
+            if rule.kind in (MESH_DELAY, MESH_DROP)]
+        self.core_rules = [
+            (index, rule) for index, rule in enumerate(self.rules)
+            if rule.kind in (CORE_STALL, CORE_CRASH)]
+        self.counts = {}       # (kind, core) -> injections
+        self._rngs = {}        # (rule index, core) -> Random
+        self._fired = set()    # one-shot core faults already delivered
+        self.chip = None
+
+    @property
+    def active(self):
+        return bool(self.rules)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, chip):
+        """Install this injector as ``chip.faults`` and publish its
+        counters through the chip's metrics registry."""
+        self.chip = chip
+        chip.faults = self
+        chip.metrics.register_collector(
+            self.COLLECTOR_NAME, self._collect_metrics,
+            self._reset_counts)
+        return self
+
+    def detach(self):
+        if self.chip is not None:
+            if self.chip.faults is self:
+                self.chip.faults = None
+            self.chip.metrics.unregister_collector(self.COLLECTOR_NAME)
+            self.chip = None
+
+    def _collect_metrics(self):
+        return [("counter", "fault_injections",
+                 {"kind": kind, "core": core}, count)
+                for (kind, core), count in sorted(self.counts.items())]
+
+    def _reset_counts(self):
+        self.counts.clear()
+
+    def total_injections(self, kind=None):
+        return sum(count for (k, _core), count in self.counts.items()
+                   if kind is None or k == kind)
+
+    # -- deterministic randomness ------------------------------------------
+
+    def _rng(self, rule_index, core):
+        key = (rule_index, core)
+        rng = self._rngs.get(key)
+        if rng is None:
+            seed = self.rules[rule_index].seed
+            rng = self._rngs[key] = random.Random(
+                (seed * 1_000_003 + rule_index * 97 + core) & 0xFFFFFFFF)
+        return rng
+
+    def _record(self, kind, core, ts, detail):
+        key = (kind, core)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        chip = self.chip
+        if chip is not None and chip.events.enabled:
+            args = {"kind": kind}
+            args.update(detail)
+            chip.events.instant(core, ts, "fault_inject", "fault",
+                                args, pid=chip.trace_pid)
+
+    # -- hooks --------------------------------------------------------------
+
+    def filter_load(self, interp, addr, value):
+        """Interpreter read hook: maybe corrupt a loaded value."""
+        chip = interp.chip
+        segment = None
+        for index, rule in self.flip_rules:
+            rng = self._rng(index, interp.core_id)
+            if rng.random() >= rule.p:
+                continue
+            if segment is None:
+                segment = chip.address_space.resolve(addr)[0]
+            if segment not in _FLIP_SEGMENTS[rule.kind]:
+                continue
+            flipped = _flip_bits(value, rng, rule.params.get("bit"))
+            if flipped == value:
+                continue
+            self._record(rule.kind, interp.core_id, interp.cycles,
+                         {"addr": addr, "segment": str(segment)})
+            if segment is SegmentKind.MPB:
+                chip.mpb.stats.corrupted_reads += 1
+            value = flipped
+        return value
+
+    def latency_extra(self, core, segment, kind, cost, ts):
+        """Chip pricing hook: extra cycles from link faults."""
+        extra = 0
+        for index, rule in self.latency_rules:
+            rng = self._rng(index, core)
+            if rng.random() >= rule.p:
+                continue
+            if rule.kind == MESH_DELAY:
+                add = rule.params.get("cycles", DEFAULT_DELAY_CYCLES)
+                detail = {"extra_cycles": add, "segment": str(segment)}
+            else:  # MESH_DROP: the message is retransmitted end-to-end
+                add = cost
+                detail = {"retransmit_cycles": add,
+                          "segment": str(segment)}
+                if self.chip is not None:
+                    self.chip.mesh.record_drop()
+            extra += add
+            self._record(rule.kind, core, ts, detail)
+        return extra
+
+    def core_tick(self, interp):
+        """Periodic per-core hook (every few hundred interpreter
+        steps): deliver scheduled stalls and crashes."""
+        for index, rule in self.core_rules:
+            victim = rule.params.get("core", 0)
+            if victim != interp.core_id:
+                continue
+            key = (index, interp.core_id)
+            if key in self._fired:
+                continue
+            if interp.cycles < rule.params.get("at", 0):
+                continue
+            rng = self._rng(index, interp.core_id)
+            if rng.random() >= rule.p:
+                self._fired.add(key)  # the one chance passed unused
+                continue
+            self._fired.add(key)
+            if rule.kind == CORE_CRASH:
+                self._record(CORE_CRASH, interp.core_id, interp.cycles,
+                             {"cycle": interp.cycles})
+                raise CoreCrashFault(
+                    "injected crash on core %d at cycle %d"
+                    % (interp.core_id, interp.cycles),
+                    core=interp.core_id, cycle=interp.cycles)
+            stall = rule.params.get("cycles", DEFAULT_STALL_CYCLES)
+            self._record(CORE_STALL, interp.core_id, interp.cycles,
+                         {"cycle": interp.cycles, "stall_cycles": stall})
+            interp.charge(stall)

@@ -8,6 +8,7 @@ remains in a self-consistent state").
 """
 
 from repro.cfront import c_ast
+from repro.diagnostics import Diagnostic
 
 
 class PassError(Exception):
@@ -21,6 +22,9 @@ class ProgramContext:
         self.unit = unit
         self.facts = {}
         self.pass_log = []
+        # structured findings accumulated across the pipeline — see
+        # repro.diagnostics (graceful degradation)
+        self.diagnostics = []
 
     def require(self, key):
         if key not in self.facts:
@@ -31,6 +35,17 @@ class ProgramContext:
     def provide(self, key, value):
         self.facts[key] = value
         return value
+
+    def diagnose(self, stage, severity, message, coord=None):
+        """Record a structured :class:`Diagnostic` (with source
+        coordinates when ``coord`` is an AST node's)."""
+        if coord is not None:
+            diagnostic = Diagnostic.from_coord(stage, severity, message,
+                                               coord)
+        else:
+            diagnostic = Diagnostic(stage, severity, message)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
 
 
 class Pass:
@@ -97,16 +112,34 @@ class Driver:
     When a :class:`repro.obs.profile.PipelineProfiler` is attached,
     every pass runs inside a wall-time span annotated with the pass's
     ``profile_stats``.
+
+    With ``strict=False`` a pass that raises no longer aborts the
+    pipeline: the exception becomes an error :class:`Diagnostic` on the
+    context and the remaining passes still run (graceful degradation —
+    the caller inspects ``context.diagnostics`` / the resulting
+    :class:`repro.diagnostics.PipelineReport` instead of a traceback).
     """
 
-    def __init__(self, passes=None, verbose=False, profiler=None):
+    def __init__(self, passes=None, verbose=False, profiler=None,
+                 strict=True):
         self.passes = list(passes or [])
         self.verbose = verbose
         self.profiler = profiler
+        self.strict = strict
 
     def add(self, pass_):
         self.passes.append(pass_)
         return self
+
+    def _run_pass(self, pass_, context):
+        if self.strict:
+            pass_(context)
+            return
+        try:
+            pass_(context)
+        except Exception as exc:
+            context.diagnostics.append(
+                Diagnostic.from_exception(pass_.name, exc))
 
     def run(self, unit_or_context):
         if isinstance(unit_or_context, ProgramContext):
@@ -119,9 +152,9 @@ class Driver:
                 print("[driver] running %s" % pass_.name)
             if profiling:
                 with self.profiler.span(pass_.name):
-                    pass_(context)
+                    self._run_pass(pass_, context)
                     self.profiler.annotate(
                         **pass_.profile_stats(context))
             else:
-                pass_(context)
+                self._run_pass(pass_, context)
         return context

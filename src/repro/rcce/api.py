@@ -60,22 +60,34 @@ class _SymmetricHeap:
 
 
 class RCCEWorld:
-    """Shared state for one RCCE program run over ``num_ues`` cores."""
+    """Shared state for one RCCE program run over ``num_ues`` cores.
 
-    def __init__(self, chip, num_ues, core_map=None):
+    ``watchdog`` (a :class:`repro.sim.watchdog.Watchdog`) supervises
+    lock and barrier waits: wait-for-graph deadlock detection on the
+    test-and-set registers and wall-clock bounds on the barrier.
+    Without one, the primitives behave exactly as before (modulo the
+    barrier's default dead-peer timeout).
+    """
+
+    def __init__(self, chip, num_ues, core_map=None, watchdog=None):
         if num_ues < 1:
             raise ValueError("need at least one UE")
         if num_ues > chip.config.num_cores:
             raise ValueError("more UEs than cores")
         self.chip = chip
         self.num_ues = num_ues
+        self.watchdog = watchdog
         self.core_map = list(core_map) if core_map \
             else list(range(num_ues))
         if len(self.core_map) != num_ues:
             raise ValueError("core_map length must equal num_ues")
+        barrier_kwargs = {}
+        if watchdog is not None:
+            barrier_kwargs["timeout"] = watchdog.barrier_timeout
         self.barrier = ClockBarrier(
-            num_ues, chip.barrier_cost(num_ues))
-        self.registers = TestAndSetRegisters(chip.config.num_cores)
+            num_ues, chip.barrier_cost(num_ues), **barrier_kwargs)
+        self.registers = TestAndSetRegisters(chip.config.num_cores,
+                                             watchdog)
         self.shared_heap = _SymmetricHeap(
             chip.address_space.alloc_shared, "shmalloc")
         self.mpb_heap = _SymmetricHeap(
@@ -122,6 +134,14 @@ class RCCEWorld:
 
     def runtime_for(self, rank):
         return RCCECoreRuntime(self, rank)
+
+    def abort(self, failure=None):
+        """Fail-fast propagation: break the barrier for every waiter
+        (carrying ``failure`` as the cause) and cancel every
+        watchdog-supervised lock wait."""
+        self.barrier.abort(failure)
+        if self.watchdog is not None:
+            self.watchdog.abort()
 
     # -- observability ------------------------------------------------------
 
@@ -303,7 +323,7 @@ class RCCECoreRuntime:
         if contended:
             self.world.lock_contentions += 1
         entry = interp.cycles
-        self.world.registers.acquire(register)
+        self.world.registers.acquire(register, self.rank)
         events = self.world.chip.events
         if events.enabled:
             events.instant(self.core_id, entry, "lock_acquire", "sync",
@@ -317,7 +337,7 @@ class RCCECoreRuntime:
         register = int(args[0]) if args else 0
         owner = register % self.world.chip.config.num_cores
         interp.charge(self.world.chip.lock_cost(self.core_id, owner))
-        self.world.registers.release(register)
+        self.world.registers.release(register, self.rank)
         return 0
 
     # -- one-sided communication ----------------------------------------------------------

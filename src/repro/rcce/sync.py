@@ -8,9 +8,22 @@ real barrier serializes progress.
 :class:`TestAndSetRegisters` models the one test-and-set register each
 SCC core owns (§4.5): acquiring lock ``k`` spins on core ``k``'s
 register, so the cost depends on mesh distance to that tile.
+
+Robustness: a barrier participant that dies (or a run-level ``abort``)
+no longer strands the survivors — waits are wall-clock bounded and an
+abort carries the originating exception to every waiter
+(:class:`~repro.sim.watchdog.BarrierAbortedError`).  Lock acquisition
+optionally runs under a :class:`~repro.sim.watchdog.Watchdog`, which
+detects wait-for cycles (crossed mutexes) and never-released locks.
 """
 
 import threading
+
+from repro.sim.watchdog import (
+    DEFAULT_BARRIER_TIMEOUT,
+    BarrierAbortedError,
+    BarrierTimeoutError,
+)
 
 
 class ClockBarrier:
@@ -19,11 +32,20 @@ class ClockBarrier:
     Phase 1: everyone publishes its clock and waits.  Phase 2 (after
     the max is computed) keeps fast threads from racing ahead and
     clobbering the published clocks of the next round.
+
+    ``timeout`` bounds each phase's wait in wall seconds; a peer that
+    never arrives (it crashed, or the program deadlocked elsewhere)
+    breaks the barrier for everyone with a
+    :class:`BarrierTimeoutError` instead of hanging the host process.
     """
 
-    def __init__(self, parties, cost_cycles=0):
+    def __init__(self, parties, cost_cycles=0,
+                 timeout=DEFAULT_BARRIER_TIMEOUT):
         self.parties = parties
         self.cost_cycles = cost_cycles
+        self.timeout = timeout
+        self.failure = None      # originating exception, via abort()
+        self._aborted = False
         self._clocks = {}
         self._max_holder = [0]
         self._lock = threading.Lock()
@@ -39,25 +61,54 @@ class ClockBarrier:
         """Synchronize; returns the new (aligned) clock value."""
         with self._lock:
             self._clocks[rank] = clock
-        self._phase1.wait()
-        aligned = self._max_holder[0] + self.cost_cycles
-        self._phase2.wait()
+        try:
+            self._phase1.wait(self.timeout)
+            aligned = self._max_holder[0] + self.cost_cycles
+            self._phase2.wait(self.timeout)
+        except threading.BrokenBarrierError:
+            raise self._broken_error(rank) from self.failure
         return aligned
 
-    def abort(self):
+    def _broken_error(self, rank):
+        if self.failure is not None:
+            return BarrierAbortedError(
+                "barrier aborted after a peer failed: %s: %s"
+                % (type(self.failure).__name__, self.failure))
+        if self._aborted:
+            return BarrierAbortedError("barrier aborted")
+        return BarrierTimeoutError(
+            "rank %s waited more than %gs at the barrier — a peer is "
+            "dead or stuck (deadlock/livelock elsewhere)"
+            % (rank, self.timeout))
+
+    def abort(self, failure=None):
+        """Break the barrier for every current and future waiter.
+        ``failure`` (the originating exception) is propagated to them
+        as the cause of their :class:`BarrierAbortedError`."""
+        if failure is not None and self.failure is None:
+            self.failure = failure
+        self._aborted = True
         self._phase1.abort()
         self._phase2.abort()
 
 
 class TestAndSetRegisters:
-    """One atomic test-and-set register per core."""
+    """One atomic test-and-set register per core.
+
+    ``owners`` tracks which rank currently holds each register — the
+    input to the watchdog's wait-for-graph deadlock detection.  With no
+    watchdog, ``acquire`` blocks indefinitely exactly as the hardware
+    register spin would.
+    """
 
     __test__ = False  # not a pytest class, despite the hardware's name
 
-    def __init__(self, num_cores):
+    def __init__(self, num_cores, watchdog=None):
         self.num_cores = num_cores
+        self.watchdog = watchdog
         self._locks = [threading.Lock() for _ in range(num_cores)]
         self.acquisitions = [0] * num_cores
+        self.owners = {}  # register index -> holding rank
 
     def contended(self, register):
         """Whether register ``register`` is currently held (the
@@ -67,14 +118,22 @@ class TestAndSetRegisters:
     def reset_counts(self):
         self.acquisitions = [0] * self.num_cores
 
-    def acquire(self, register):
-        lock = self._locks[register % self.num_cores]
-        lock.acquire()
-        self.acquisitions[register % self.num_cores] += 1
+    def acquire(self, register, rank=None):
+        index = register % self.num_cores
+        lock = self._locks[index]
+        if self.watchdog is None:
+            lock.acquire()
+        else:
+            self.watchdog.acquire_lock(lock, index, rank, self.owners)
+        self.owners[index] = rank
+        self.acquisitions[index] += 1
 
-    def release(self, register):
-        lock = self._locks[register % self.num_cores]
+    def release(self, register, rank=None):
+        index = register % self.num_cores
+        # clear ownership before freeing the lock so the watchdog never
+        # sees a free register with a stale owner
+        self.owners.pop(index, None)
         try:
-            lock.release()
+            self._locks[index].release()
         except RuntimeError:
             pass  # releasing an unheld lock is a no-op on the SCC register

@@ -77,6 +77,10 @@ class SCCChip:
             "scc.chip", self._collect_metrics, self._reset_counters)
         self.events = NULL_EVENTS
         self.trace_pid = 0
+        # fault injection (repro.faults): ``None`` means no injector is
+        # attached and every hook below is a single dead branch, so an
+        # un-faulted run prices accesses byte-identically
+        self.faults = None
 
     # -- observability ----------------------------------------------------------
 
@@ -132,6 +136,12 @@ class SCCChip:
                         self.mpb.stats.writes))
         samples.append(("counter", "scc_mpb_bytes_moved", {},
                         self.mpb.stats.bytes_moved))
+        if self.mpb.stats.corrupted_reads:
+            samples.append(("counter", "scc_mpb_corrupted_reads", {},
+                            self.mpb.stats.corrupted_reads))
+        if self.mesh.drops:
+            samples.append(("counter", "scc_mesh_dropped_messages", {},
+                            self.mesh.drops))
         for link, count in sorted(self.mesh.link_traffic.items()):
             samples.append(("counter", "scc_mesh_link_traffic",
                             {"link": "%s->%s" % link}, count))
@@ -216,10 +226,15 @@ class SCCChip:
         state.accesses[segment] += 1
 
         if segment is SegmentKind.PRIVATE:
-            return self._private_cost(core, state, physical, ts)
-        if segment is SegmentKind.SHARED:
-            return self._shared_cost(core, kind, ts)
-        return self._mpb_cost(core, physical, kind, size, ts)
+            cost = self._private_cost(core, state, physical, ts)
+        elif segment is SegmentKind.SHARED:
+            cost = self._shared_cost(core, kind, ts)
+        else:
+            cost = self._mpb_cost(core, physical, kind, size, ts)
+        if self.faults is not None:
+            cost += self.faults.latency_extra(core, segment, kind,
+                                              cost, ts)
+        return cost
 
     def access_fastpath(self, core, addr):
         """Build one inline-cache entry for ``addr`` as seen by

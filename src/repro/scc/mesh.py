@@ -21,6 +21,14 @@ class Mesh:
         self.record_traffic = False
         self.link_traffic = {}
         self._traffic_lock = None
+        # messages lost to injected link faults (repro.faults); the
+        # increment is GIL-atomic like the other counters
+        self.drops = 0
+
+    def record_drop(self):
+        """Count one injected message drop (the access pays a full
+        retransmission; the mesh only keeps the tally)."""
+        self.drops += 1
 
     def enable_traffic_recording(self):
         import threading
@@ -45,6 +53,7 @@ class Mesh:
                 self.link_traffic.clear()
         else:
             self.link_traffic.clear()
+        self.drops = 0
 
     def hot_links(self, top=5):
         """The ``top`` busiest links as ((from, to), count) pairs."""

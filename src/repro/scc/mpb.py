@@ -9,21 +9,25 @@ requesting core to the tile that owns the target MPB segment — so
 
 
 class MPBStats:
-    __slots__ = ("reads", "writes", "bytes_moved")
+    __slots__ = ("reads", "writes", "bytes_moved", "corrupted_reads")
 
     def __init__(self):
         self.reads = 0
         self.writes = 0
         self.bytes_moved = 0
+        # reads whose value an injected fault flipped (repro.faults)
+        self.corrupted_reads = 0
 
     def reset(self):
         self.reads = 0
         self.writes = 0
         self.bytes_moved = 0
+        self.corrupted_reads = 0
 
     def __repr__(self):
-        return "MPBStats(r=%d, w=%d, bytes=%d)" % (
-            self.reads, self.writes, self.bytes_moved)
+        return "MPBStats(r=%d, w=%d, bytes=%d, corrupted=%d)" % (
+            self.reads, self.writes, self.bytes_moved,
+            self.corrupted_reads)
 
 
 class MessagePassingBuffer:

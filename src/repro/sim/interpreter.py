@@ -108,6 +108,11 @@ class Interpreter:
         self._global_addr = {}
         self._site_cache = {}   # site id -> (epoch, lo, hi, cost fn)
         self.site_fills = 0     # inline-cache misses (diagnostics)
+        # fault injection (repro.faults): the chip-attached injector,
+        # or None — in which case the read/tick hooks are dead branches
+        faults = getattr(chip, "faults", None)
+        self._faults = faults if faults is not None and faults.active \
+            else None
 
         stack_segment = chip.address_space.alloc_private(
             core_id, STACK_BYTES, "stack-core%d" % core_id)
@@ -223,6 +228,8 @@ class Interpreter:
         if self.tracer is not None:
             self.tracer.record(self, addr, "read")
         value = self.memory.load(addr)
+        if self._faults is not None:
+            value = self._faults.filter_load(self, addr, value)
         if ctype is not None and isinstance(value, int) and \
                 isinstance(ctype, ctypes.PrimitiveType) and \
                 ctype.is_floating:
@@ -245,6 +252,10 @@ class Interpreter:
             raise StepLimitExceeded(
                 "exceeded %d interpreter steps on core %d"
                 % (self.max_steps, self.core_id))
+        if self._faults is not None and not self.steps & 255:
+            # scheduled core stalls/crashes, checked every 256 steps
+            # (fault runs always use this tree-walking engine)
+            self._faults.core_tick(self)
         if not self.steps & (RETIRE_BATCH - 1):
             self._batch_tick()
 

@@ -22,14 +22,15 @@ MUTEX_OP_COST = 60
 
 
 class ThreadRecord:
-    __slots__ = ("tid", "func_name", "arg", "finished", "cycles",
-                 "retval")
+    __slots__ = ("tid", "func_name", "arg", "finished", "completed",
+                 "cycles", "retval")
 
     def __init__(self, tid, func_name, arg):
         self.tid = tid
         self.func_name = func_name
         self.arg = arg
-        self.finished = False
+        self.finished = False   # claimed for execution (re-entry guard)
+        self.completed = False  # actually ran to completion
         self.cycles = 0
         self.retval = None
 
@@ -125,8 +126,10 @@ class PthreadRuntime:
         try:
             record.retval = interp.call_function(
                 record.func_name, [record.arg])
+            record.completed = True
         except ThreadExit as texit:
             record.retval = texit.value
+            record.completed = True
         finally:
             self._current_tid.pop()
             record.cycles = interp.cycles - start
@@ -157,6 +160,16 @@ class PthreadRuntime:
         for node in arg_nodes:
             interp.eval_expr(node)
         return 0
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def state_dump(self):
+        """Thread-table snapshot attached to ``SimulationTimeout``
+        when the single-core baseline blows its step budget: which
+        simulated threads exist, which finished, and what each cost."""
+        return [{"tid": record.tid, "function": record.func_name,
+                 "finished": record.completed, "cycles": record.cycles}
+                for record in self.order]
 
     # -- scheduling overhead ---------------------------------------------------------
 

@@ -7,17 +7,33 @@ multithreaded program on one SCC core, threads time-sliced.
 per simulated core, a shared memory object, a shared RCCE world, and
 per-core cycle clocks aligned at every barrier.  The reported runtime
 is the slowest core's final clock — wall time, as the paper measures.
+
+Both runners accept an optional ``faults`` spec (see ``repro.faults``)
+and — for ``run_rcce`` — an optional ``watchdog`` (see
+``repro.sim.watchdog``).  With both left at ``None`` every hook is a
+single attribute check and runs are byte-identical to a build without
+this layer.
 """
 
 import threading
 
 from repro.cfront.frontend import parse_program
+from repro.faults import FaultInjector
 from repro.rcce.api import RCCEWorld
 from repro.scc.chip import SCCChip
 from repro.scc.config import Table61Config
-from repro.sim.interpreter import Interpreter, ThreadExit
+from repro.sim.interpreter import (
+    Interpreter,
+    StepLimitExceeded,
+    ThreadExit,
+)
 from repro.sim.machine import Memory
 from repro.sim.pthread_rt import PthreadRuntime
+from repro.sim.watchdog import (
+    SimulationTimeout,
+    WatchdogError,
+    core_dumps,
+)
 
 
 class RunResult:
@@ -78,12 +94,51 @@ def _prepare_chip(chip, interpreters, cores):
                                    "core %d" % core)
 
 
+def _as_injector(faults):
+    """Accept a spec string, a FaultInjector, or None."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults if faults.active else None
+    injector = FaultInjector(faults)
+    return injector if injector.active else None
+
+
+def _attach_faults(chip, injector, engine):
+    """Attach the injector and pick the engine actually used.
+
+    Fault runs force the reference tree-walking engine: the compiled
+    engine inlines memory fast paths that would bypass value-flip
+    hooks, and the two engines are verified cycle-identical so nothing
+    is lost."""
+    if injector is None:
+        return engine
+    injector.attach(chip)
+    return "tree"
+
+
+def _timeout_from(exc, interpreters, ranks=None):
+    """Convert a step-budget overrun into a SimulationTimeout carrying
+    per-core state dumps; attach dumps to watchdog errors too."""
+    dumps = core_dumps(interpreters, ranks)
+    if isinstance(exc, StepLimitExceeded) and \
+            not isinstance(exc, SimulationTimeout):
+        return SimulationTimeout(str(exc), dumps)
+    if isinstance(exc, (WatchdogError, SimulationTimeout)) and \
+            not exc.dumps:
+        exc.dumps = dumps
+    return exc
+
+
 def run_pthread_single_core(program, config=None, chip=None, core=0,
-                            max_steps=200_000_000, engine="compiled"):
+                            max_steps=200_000_000, engine="compiled",
+                            faults=None):
     """Run a Pthreads program with all threads on one core."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
+    injector = _as_injector(faults)
+    engine = _attach_faults(chip, injector, engine)
     memory = Memory()
     runtime = PthreadRuntime()
     interpreters = []
@@ -97,9 +152,16 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
             exit_value = interp.run_main()
         except ThreadExit as texit:
             exit_value = texit.value
+        except StepLimitExceeded as exc:
+            timeout = _timeout_from(exc, interpreters)
+            timeout.threads = runtime.state_dump()
+            raise timeout from None
         runtime.run_pending(interp)
     finally:
         chip.deactivate_core(core)
+        metrics = chip.metrics.snapshot()
+        if injector is not None:
+            injector.detach()
     overhead = runtime.scheduling_overhead_cycles(config, interp.cycles)
     total = interp.cycles + overhead
     return RunResult(
@@ -112,7 +174,7 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
             "scheduling_overhead_cycles": overhead,
             "cache": chip.cache_stats(core),
         },
-        metrics=chip.metrics.snapshot())
+        metrics=metrics)
 
 
 class _CoreError:
@@ -129,11 +191,14 @@ class _CoreError:
 
 
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
-             max_steps=200_000_000, engine="compiled"):
+             max_steps=200_000_000, engine="compiled", faults=None,
+             watchdog=None):
     """Run a translated RCCE program on ``num_ues`` simulated cores."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
+    injector = _as_injector(faults)
+    engine = _attach_faults(chip, injector, engine)
     if engine == "compiled":
         # lower the unit once, before any core thread spawns: the
         # compiled-unit cache is shared and this keeps thread startup
@@ -143,15 +208,17 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     interpreters = []
     _prepare_chip(chip, interpreters,
                   list(core_map) if core_map else range(num_ues))
-    world = RCCEWorld(chip, num_ues, core_map)
+    world = RCCEWorld(chip, num_ues, core_map, watchdog)
     memory = Memory()
     error = _CoreError()
+    ranks = {}
 
     def core_main(rank):
-        runtime = world.runtime_for(rank)
         try:
+            runtime = world.runtime_for(rank)
             interp = Interpreter(unit, chip, runtime.core_id, memory,
                                  runtime, max_steps, engine=engine)
+            ranks[interp.core_id] = rank
             interpreters.append(interp)
             try:
                 interp.run_main()
@@ -159,7 +226,10 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
                 pass
         except Exception as exc:  # noqa: BLE001 - surfaced to caller
             error.record(exc)
-            world.barrier.abort()
+            # unblock every peer parked at the clock barrier or inside
+            # a watchdog-supervised lock wait; the originating
+            # exception rides along so peers report the real cause
+            world.abort(exc)
 
     # register every core with its memory controller BEFORE any core
     # starts executing: the contention model must not depend on host
@@ -177,8 +247,11 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     finally:
         for rank in range(num_ues):
             chip.deactivate_core(world.core_map[rank])
+        metrics = chip.metrics.snapshot()
+        if injector is not None:
+            injector.detach()
     if error.exc is not None:
-        raise error.exc
+        raise _timeout_from(error.exc, interpreters, ranks)
 
     per_core = {interp.core_id: interp.cycles for interp in interpreters}
     total = max(per_core.values())
@@ -196,4 +269,4 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
                             for index, stats
                             in chip.controller_stats().items()},
         },
-        metrics=chip.metrics.snapshot())
+        metrics=metrics)

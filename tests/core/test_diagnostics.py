@@ -1,0 +1,168 @@
+"""Graceful-degradation tests: the pipeline's Diagnostic records,
+lenient vs strict Driver behaviour, and the stage-5 warnings."""
+
+import pytest
+
+from repro.diagnostics import Diagnostic, PipelineReport
+from repro.core.framework import TranslationFramework
+from repro.ir.passes import AnalysisPass, Driver, PassError, ProgramContext
+
+
+class TestDiagnostic:
+    def test_format_with_location(self):
+        diag = Diagnostic("stage1", "error", "boom", "x.c", 3, 7)
+        assert diag.format() == "error[stage1]: boom (x.c, line 3, col 7)"
+
+    def test_format_without_location(self):
+        diag = Diagnostic("stage1", "warning", "meh")
+        assert diag.format() == "warning[stage1]: meh"
+
+    def test_from_exception_extracts_coords(self):
+        from repro.cfront.errors import ParseError
+        exc = ParseError("bad token", 4, 2, "y.c")
+        diag = Diagnostic.from_exception("frontend", exc)
+        assert diag.is_error
+        assert diag.line == 4
+        assert diag.filename == "y.c"
+
+    def test_as_dict_round_trip(self):
+        diag = Diagnostic("s", "info", "m", "f.c", 1, 2)
+        data = diag.as_dict()
+        assert data["stage"] == "s"
+        assert data["line"] == 1
+
+
+class TestPipelineReport:
+    def test_counts_and_errors(self):
+        report = PipelineReport([
+            Diagnostic("a", "error", "e1"),
+            Diagnostic("a", "warning", "w1"),
+            Diagnostic("b", "warning", "w2"),
+        ])
+        assert report.has_errors
+        assert not report.ok
+        counts = report.counts()
+        assert counts["error"] == 1
+        assert counts["warning"] == 2
+        assert set(report.by_stage()) == {"a", "b"}
+
+    def test_empty_report_is_ok(self):
+        report = PipelineReport([])
+        assert report.ok
+        assert len(report) == 0
+
+    def test_render_mentions_every_finding(self):
+        report = PipelineReport([Diagnostic("a", "error", "e1"),
+                                 Diagnostic("b", "warning", "w2")])
+        rendered = report.render()
+        assert "e1" in rendered and "w2" in rendered
+
+
+class _Boom(AnalysisPass):
+    name = "boom"
+
+    def run(self, context):
+        raise PassError("synthetic failure")
+
+
+class _Record(AnalysisPass):
+    name = "record"
+
+    def run(self, context):
+        context.provide("reached", True)
+
+
+class TestDriverStrictness:
+    def test_strict_driver_raises(self):
+        from repro.cfront.frontend import parse_program
+        unit = parse_program("int main() { return 0; }")
+        with pytest.raises(PassError):
+            Driver([_Boom(), _Record()], strict=True).run(unit)
+
+    def test_lenient_driver_collects_and_continues(self):
+        from repro.cfront.frontend import parse_program
+        unit = parse_program("int main() { return 0; }")
+        context = Driver([_Boom(), _Record()], strict=False).run(unit)
+        assert context.facts.get("reached") is True
+        assert len(context.diagnostics) == 1
+        diag = context.diagnostics[0]
+        assert diag.stage == "boom"
+        assert diag.is_error
+        assert "synthetic failure" in diag.message
+
+    def test_context_diagnose_helper(self):
+        from repro.cfront.frontend import parse_program
+        unit = parse_program("int main() { return 0; }")
+        context = ProgramContext(unit)
+        context.diagnose("stageX", "warning", "careful")
+        assert context.diagnostics[0].severity == "warning"
+
+
+MANY_MUTEXES = """
+#include <pthread.h>
+pthread_mutex_t m0, m1, m2, m3, m4;
+int shared_value;
+void *worker(void *arg) {
+    pthread_mutex_lock(&m0);
+    shared_value++;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m1);
+    pthread_mutex_unlock(&m1);
+    pthread_mutex_lock(&m2);
+    pthread_mutex_unlock(&m2);
+    pthread_mutex_lock(&m3);
+    pthread_mutex_unlock(&m3);
+    pthread_mutex_lock(&m4);
+    pthread_mutex_unlock(&m4);
+    return 0;
+}
+int main() {
+    pthread_t threads[2];
+    int i;
+    for (i = 0; i < 2; i++)
+        pthread_create(&threads[i], 0, worker, (void *)i);
+    for (i = 0; i < 2; i++)
+        pthread_join(threads[i], 0);
+    return 0;
+}
+"""
+
+
+class TestStage5Warnings:
+    def test_register_aliasing_warns(self):
+        # a 4-register chip cannot give 5 mutexes distinct registers
+        framework = TranslationFramework(num_cores=4)
+        result = framework.translate(MANY_MUTEXES)
+        warnings = [d for d in result.diagnostics
+                    if d.severity == "warning"]
+        assert any("test-and-set registers" in d.message
+                   for d in warnings)
+        assert result.ok  # warnings alone leave the run ok
+
+    def test_enough_registers_no_warning(self):
+        framework = TranslationFramework(num_cores=48)
+        result = framework.translate(MANY_MUTEXES)
+        assert not result.diagnostics
+
+    def test_framework_report_property(self):
+        framework = TranslationFramework(num_cores=4)
+        result = framework.translate(MANY_MUTEXES)
+        report = result.report
+        assert isinstance(report, PipelineReport)
+        assert report.counts().get("warning", 0) >= 1
+
+
+class TestFrameworkLenient:
+    def test_lenient_framework_reports_instead_of_raising(self):
+        # scope analysis chokes on a program with no main; lenient
+        # mode must turn that into a diagnostic, not a traceback
+        framework = TranslationFramework(strict=False)
+        result = framework.translate(
+            "int helper(int x) { return x + 1; }")
+        assert not result.ok
+        assert any(d.is_error for d in result.diagnostics)
+
+    def test_strict_framework_raises(self):
+        framework = TranslationFramework(strict=True)
+        with pytest.raises(Exception):
+            framework.translate("int helper(int x) { return x + 1; }")

@@ -21,6 +21,12 @@ def run_cli(argv):
     return code, out.getvalue()
 
 
+def run_cli_err(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out, err)
+    return code, out.getvalue(), err.getvalue()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -115,3 +121,111 @@ class TestRun:
         code, output = run_cli(["run", str(path), "--ues", "2",
                                 "--fold", "--mode", "rcce"])
         assert code == 0
+
+
+DEADLOCK_KERNEL = """
+int RCCE_APP(int argc, char **argv) {
+    int myID;
+    RCCE_init(&argc, &argv);
+    myID = RCCE_ue();
+    if (myID == 0) {
+        RCCE_acquire_lock(0);
+        RCCE_barrier(&RCCE_COMM_WORLD);
+        RCCE_acquire_lock(1);
+    } else {
+        RCCE_acquire_lock(1);
+        RCCE_barrier(&RCCE_COMM_WORLD);
+        RCCE_acquire_lock(0);
+    }
+    RCCE_finalize();
+    return 0;
+}
+"""
+
+
+class TestErrorHandling:
+    def test_missing_input_exits_66(self):
+        code, _, err = run_cli_err(["translate", "/no/such/file.c"])
+        assert code == 66
+        assert "cannot read input" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_parse_error_exits_65(self, tmp_path):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( { return 0; }")
+        code, _, err = run_cli_err(["translate", str(path)])
+        assert code == 65
+        assert "parse error" in err
+
+    def test_bad_fault_spec_exits_2(self, example_file):
+        code, _, err = run_cli_err(
+            ["run", example_file, "--mode", "pthread",
+             "--faults", "gamma_ray:p=1"])
+        assert code == 2
+        assert "bad --faults spec" in err
+
+    def test_deadlock_exits_75(self, tmp_path):
+        path = tmp_path / "deadlock.c"
+        path.write_text(DEADLOCK_KERNEL)
+        code, _, err = run_cli_err(
+            ["run", str(path), "--mode", "rcce", "--ues", "2",
+             "--watchdog-timeout", "5"])
+        assert code == 75
+        assert "simulation timed out" in err
+        assert "deadlock" in err
+
+    def test_step_budget_exits_75(self, tmp_path):
+        path = tmp_path / "spin.c"
+        path.write_text("""
+        int RCCE_APP(int argc, char **argv) {
+            int i;
+            RCCE_init(&argc, &argv);
+            for (i = 0; i >= 0; i++) { }
+            RCCE_finalize();
+            return 0;
+        }
+        """)
+        code, _, err = run_cli_err(
+            ["run", str(path), "--mode", "rcce", "--ues", "2",
+             "--max-steps", "5000"])
+        assert code == 75
+        assert "simulation timed out" in err
+
+    def test_injected_crash_exits_70(self, tmp_path):
+        path = tmp_path / "victim.c"
+        path.write_text("""
+        int RCCE_APP(int argc, char **argv) {
+            int i; double s;
+            RCCE_init(&argc, &argv);
+            s = 0.0;
+            for (i = 0; i < 5000; i++) { s = s + i; }
+            RCCE_barrier(&RCCE_COMM_WORLD);
+            RCCE_finalize();
+            return 0;
+        }
+        """)
+        code, _, err = run_cli_err(
+            ["run", str(path), "--mode", "rcce", "--ues", "2",
+             "--faults", "core_crash:core=1,at=100"])
+        assert code == 70
+        assert "simulated program failed" in err
+        assert "injected crash" in err
+
+
+class TestFaultFlags:
+    def test_faulted_run_smoke_with_metrics(self, example_file,
+                                            tmp_path):
+        metrics_path = str(tmp_path / "metrics.json")
+        code, output, _ = run_cli_err(
+            ["run", example_file, "--ues", "2", "--mode", "rcce",
+             "--faults", "mesh_delay:p=0.2,seed=5",
+             "--metrics", metrics_path])
+        assert code == 0
+        with open(metrics_path) as handle:
+            assert "fault_injections" in handle.read()
+
+    def test_no_watchdog_flag_accepted(self, example_file):
+        code, output = run_cli(["run", example_file, "--ues", "2",
+                                "--mode", "rcce", "--no-watchdog"])
+        assert code == 0
+
