@@ -27,8 +27,13 @@ from repro.obs.profile import PipelineProfiler
 from repro.obs.tracer import EventTracer
 from repro.rcce.api import RCCEAllocationError
 from repro.rcce.comm import CommDeadlockError
+from repro.recovery import RecoveryOptions, SnapshotError
 from repro.sim.interpreter import InterpreterError
-from repro.sim.runner import run_pthread_single_core, run_rcce
+from repro.sim.runner import (
+    run_pthread_single_core,
+    run_rcce,
+    run_rcce_supervised,
+)
 from repro.sim.watchdog import (
     SimulationTimeout,
     Watchdog,
@@ -86,6 +91,28 @@ def build_parser():
                      help="inject deterministic faults, e.g. "
                      "'mpb_flip:p=1e-6,seed=7;mesh_drop:p=1e-4' "
                      "(see docs/robustness.md; forces --engine tree)")
+    run.add_argument("--recover", action="store_true",
+                     help="enable the recovery layer for the RCCE "
+                     "run: ECC scrubbing of flipped reads and "
+                     "retried RCCE_send messages "
+                     "(see docs/robustness.md)")
+    run.add_argument("--max-restarts", type=int, default=0,
+                     metavar="N",
+                     help="supervise the RCCE run: after a core "
+                     "crash, timeout, or uncorrectable ECC error, "
+                     "restart from the newest checkpoint up to N "
+                     "times")
+    run.add_argument("--checkpoint-every", type=int, default=0,
+                     metavar="N",
+                     help="write a snapshot every N barrier rounds "
+                     "(default: every round when --max-restarts is "
+                     "set, otherwise off)")
+    run.add_argument("--checkpoint", default=None, metavar="FILE",
+                     help="snapshot file for --checkpoint-every / "
+                     "--max-restarts (default repro.ckpt)")
+    run.add_argument("--restore", default=None, metavar="FILE",
+                     help="restore a snapshot by verified replay, "
+                     "then run to completion")
     run.add_argument("--max-steps", type=int, default=200_000_000,
                      help="per-core step budget before the run is "
                      "aborted with a SimulationTimeout")
@@ -205,6 +232,30 @@ def cmd_run(args, out, err):
     faults = getattr(args, "faults", None)
     if faults:
         parse_fault_spec(faults)  # fail early, before any simulation
+    recover_on = getattr(args, "recover", False)
+    max_restarts = getattr(args, "max_restarts", 0)
+    checkpoint_every = getattr(args, "checkpoint_every", 0)
+    restore = getattr(args, "restore", None)
+    want_checkpoint = checkpoint_every > 0 or max_restarts > 0 \
+        or getattr(args, "checkpoint", None) is not None
+    if (bool(faults) or want_checkpoint or restore is not None) \
+            and args.engine == "compiled" \
+            and getattr(args, "strict", False):
+        err.write("repro: --engine compiled cannot honour %s: the "
+                  "fault and checkpoint hooks need the reference "
+                  "tree engine (verified cycle-identical); rerun "
+                  "with --engine tree or drop --strict\n"
+                  % ("--faults" if faults else "checkpoint/restore"))
+        return EXIT_USAGE
+    recovery = None
+    if recover_on or want_checkpoint or restore is not None:
+        recovery = RecoveryOptions(
+            ecc=recover_on, retry=recover_on,
+            checkpoint_path=(getattr(args, "checkpoint", None)
+                             or "repro.ckpt")
+            if want_checkpoint else None,
+            checkpoint_every=checkpoint_every or 1,
+            restore=restore)
     watchdog = None
     if args.mode in ("rcce", "compare") and \
             not getattr(args, "no_watchdog", False):
@@ -227,6 +278,8 @@ def cmd_run(args, out, err):
                                            engine=args.engine,
                                            faults=faults)
         snapshots["pthread"] = baseline.metrics
+        for diagnostic in baseline.diagnostics:
+            err.write(diagnostic.format() + "\n")
         out.write("pthread x1 core : %12d cycles  %s\n"
                   % (baseline.cycles,
                      baseline.stdout().strip().splitlines()[:1]))
@@ -242,14 +295,47 @@ def cmd_run(args, out, err):
             unit = result.unit
             if framework.profiler is not None:
                 out.write(framework.profiler.render() + "\n")
-        chip = SCCChip(Table61Config())
-        if tracer is not None:
-            chip.attach_events(tracer, pid=1,
-                               name="rcce x%d cores" % args.ues)
-        rcce = run_rcce(unit, args.ues, chip.config, chip,
-                        max_steps=args.max_steps, engine=args.engine,
-                        faults=faults, watchdog=watchdog)
+        if max_restarts > 0:
+            chips = []
+
+            def chip_factory():
+                chip = SCCChip(Table61Config())
+                if tracer is not None:
+                    chip.attach_events(tracer, pid=1,
+                                       name="rcce x%d cores" % args.ues)
+                chips.append(chip)
+                return chip
+
+            watchdog_factory = None
+            if watchdog is not None:
+                timeout = getattr(args, "watchdog_timeout", None)
+
+                def watchdog_factory():
+                    if timeout is not None:
+                        return Watchdog(lock_timeout=timeout,
+                                        barrier_timeout=timeout)
+                    return Watchdog()
+
+            rcce = run_rcce_supervised(
+                unit, args.ues, config=Table61Config(),
+                max_steps=args.max_steps, engine=args.engine,
+                faults=faults, recovery=recovery,
+                max_restarts=max_restarts,
+                chip_factory=chip_factory,
+                watchdog_factory=watchdog_factory)
+            chip = chips[-1]
+        else:
+            chip = SCCChip(Table61Config())
+            if tracer is not None:
+                chip.attach_events(tracer, pid=1,
+                                   name="rcce x%d cores" % args.ues)
+            rcce = run_rcce(unit, args.ues, chip.config, chip,
+                            max_steps=args.max_steps,
+                            engine=args.engine, faults=faults,
+                            watchdog=watchdog, recovery=recovery)
         snapshots["rcce"] = rcce.metrics
+        for diagnostic in rcce.diagnostics:
+            err.write(diagnostic.format() + "\n")
         first = rcce.stdout().strip().splitlines()[:1]
         out.write("rcce    x%d cores: %12d cycles  %s\n"
                   % (args.ues, rcce.cycles, first))
@@ -317,6 +403,8 @@ def main(argv=None, out=None, err=None):
         return _fail(err, EXIT_USAGE, "bad --faults spec", exc)
     except CFrontError as exc:
         return _fail(err, EXIT_PARSE, "parse error", exc)
+    except SnapshotError as exc:
+        return _fail(err, EXIT_PARSE, "bad snapshot", exc)
     except (SimulationTimeout, WatchdogError,
             CommDeadlockError) as exc:
         return _fail(err, EXIT_TIMEOUT, "simulation timed out", exc)

@@ -49,6 +49,11 @@ class Diagnostic:
                    column=getattr(exc, "column", None))
 
     @classmethod
+    def warning(cls, stage, message, **where):
+        """A warning with optional filename/line/column keywords."""
+        return cls(stage, WARNING, message, **where)
+
+    @classmethod
     def from_coord(cls, stage, severity, message, coord):
         """Build a diagnostic from an AST node's source coordinate."""
         return cls(stage, severity, message,

@@ -63,8 +63,8 @@ FAULT_KINDS = (MPB_FLIP, DRAM_FLIP, MESH_DELAY, MESH_DROP, CORE_STALL,
 
 # Per-kind recognised parameters (beyond the common p= and seed=).
 _KIND_PARAMS = {
-    MPB_FLIP: ("bit",),
-    DRAM_FLIP: ("bit",),
+    MPB_FLIP: ("bit", "bits"),
+    DRAM_FLIP: ("bit", "bits"),
     MESH_DELAY: ("cycles",),
     MESH_DROP: (),
     CORE_STALL: ("core", "at", "cycles"),
@@ -180,22 +180,33 @@ def parse_fault_spec(spec):
     return rules
 
 
-def _flip_bits(value, rng, bit=None):
-    """Flip one bit of a simulated memory word.  Integers flip a bit of
-    their low 32; floats flip a bit of their IEEE-754 double image
+def _flip_bits(value, rng, bit=None, bits=1):
+    """Flip ``bits`` bits of a simulated memory word.  Integers flip
+    within their low 32; floats within their IEEE-754 double image
     (which may legitimately produce huge values or NaN — that is what a
     real upset does).  Non-numeric values (pointers into the symbolic
-    heap) are left alone."""
+    heap) are left alone.  ``bits>=2`` models a multi-bit upset — the
+    case SECDED scrubbing (repro.recovery.ecc) detects but cannot
+    correct."""
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return value
+    width = 32 if isinstance(value, int) else 64
+    if bits <= 1:
+        chosen = [bit if bit is not None else rng.randrange(width)]
+    else:
+        chosen = [] if bit is None else [bit % width]
+        while len(chosen) < min(bits, width):
+            candidate = rng.randrange(width)
+            if candidate not in chosen:
+                chosen.append(candidate)
+    mask = 0
+    for one in chosen:
+        mask |= 1 << (one % width)
     if isinstance(value, int):
-        chosen = bit if bit is not None else rng.randrange(32)
-        return value ^ (1 << (chosen % 32))
-    chosen = bit if bit is not None else rng.randrange(64)
+        return value ^ mask
     packed = struct.pack("<Q", struct.unpack(
-        "<Q", struct.pack("<d", value))[0] ^ (1 << (chosen % 64)))
-    flipped = struct.unpack("<d", packed)[0]
-    return flipped
+        "<Q", struct.pack("<d", value))[0] ^ mask)
+    return struct.unpack("<d", packed)[0]
 
 
 _FLIP_SEGMENTS = {
@@ -269,6 +280,14 @@ class FaultInjector:
 
     # -- deterministic randomness ------------------------------------------
 
+    def reset_streams(self):
+        """Restart every per-(rule, core) stream from its seed while
+        keeping one-shot delivery state (``_fired``).  The supervisor
+        calls this between restart attempts so the replayed prefix
+        reproduces the original run's injection schedule exactly —
+        without re-firing a crash that already fired."""
+        self._rngs.clear()
+
     def _rng(self, rule_index, core):
         key = (rule_index, core)
         rng = self._rngs.get(key)
@@ -302,7 +321,8 @@ class FaultInjector:
                 segment = chip.address_space.resolve(addr)[0]
             if segment not in _FLIP_SEGMENTS[rule.kind]:
                 continue
-            flipped = _flip_bits(value, rng, rule.params.get("bit"))
+            flipped = _flip_bits(value, rng, rule.params.get("bit"),
+                                 rule.params.get("bits", 1))
             if flipped == value:
                 continue
             self._record(rule.kind, interp.core_id, interp.cycles,
@@ -331,6 +351,27 @@ class FaultInjector:
             extra += add
             self._record(rule.kind, core, ts, detail)
         return extra
+
+    def message_dropped(self, core, ts, seq=None):
+        """Message-level drop decision for one RCCE_send transmission.
+
+        Only consulted by the recovery layer's SendRetrier (never on
+        an unprotected run, so PR 3 behaviour is untouched); draws
+        from the same per-(rule, core) streams as ``latency_extra`` so
+        protected runs stay deterministic under one seed."""
+        dropped = False
+        for index, rule in self.latency_rules:
+            if rule.kind != MESH_DROP:
+                continue
+            rng = self._rng(index, core)
+            if rng.random() >= rule.p:
+                continue
+            dropped = True
+            self._record(MESH_DROP, core, ts,
+                         {"message": 1, "seq": seq})
+            if self.chip is not None:
+                self.chip.mesh.record_drop()
+        return dropped
 
     def core_tick(self, interp):
         """Periodic per-core hook (every few hundred interpreter

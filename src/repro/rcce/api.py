@@ -95,6 +95,10 @@ class RCCEWorld:
         self.mpb_fallbacks = 0  # RCCE_malloc calls that spilled to DRAM
         self.fabric = MessageFabric()
         self.flags = FlagTable()
+        # recovery-layer send retrier (repro.recovery.retry), installed
+        # by the runner when retry is enabled; None keeps RCCE_send on
+        # the exact pre-recovery path
+        self.retrier = None
         self.collectives = CollectiveArea(self.barrier, num_ues)
         self.messages_sent = 0
         # communication/synchronization accumulators, published through
@@ -160,6 +164,17 @@ class RCCEWorld:
             if count:
                 samples.append(("counter", "rcce_lock_acquisitions",
                                 {"register": register}, count))
+        retrier = self.retrier
+        if retrier is not None:
+            for core in sorted(retrier.retries):
+                count = retrier.retries[core]
+                if count:
+                    samples.append(("counter", "rcce_send_retries",
+                                    {"core": core}, count))
+            if retrier.exhausted:
+                samples.append(("counter",
+                                "rcce_send_retries_exhausted", {},
+                                retrier.exhausted))
         return samples
 
     def _reset_counters(self):
@@ -171,6 +186,8 @@ class RCCEWorld:
         self.send_bytes = 0
         self.lock_contentions = 0
         self.registers.reset_counts()
+        if self.retrier is not None:
+            self.retrier.reset_counts()
 
 
 class RCCECoreRuntime:
@@ -419,7 +436,14 @@ class RCCECoreRuntime:
         cost = self._transfer_cost(dest, nbytes)
         channel = self.world.fabric.channel(self.rank, dest)
         entry = interp.cycles
-        interp.cycles = channel.send(values, interp.cycles + cost)
+        seq = None
+        retrier = self.world.retrier
+        if retrier is not None:
+            seq = retrier.next_seq(self.rank, dest)
+            interp.charge(retrier.transmit(self, interp, dest, seq,
+                                           cost))
+        interp.cycles = channel.send(values, interp.cycles + cost,
+                                     seq=seq)
         self.world.messages_sent += 1
         self.world.send_bytes += nbytes
         events = self.world.chip.events

@@ -109,21 +109,27 @@ class FlagTable:
 
 
 class Channel:
-    """One synchronous rendezvous channel for a (source, dest) pair."""
+    """One synchronous rendezvous channel for a (source, dest) pair.
+
+    Messages optionally carry a sequence number (the recovery layer's
+    :class:`~repro.recovery.retry.SendRetrier` numbers every send).
+    The receiver acknowledges but does not re-deliver a duplicate
+    sequence number, so a retransmitted message is idempotent."""
 
     def __init__(self):
         self.condition = threading.Condition()
-        self.payload = None       # (values, sender_clock)
+        self.payload = None       # (values, sender_clock, seq)
         self.consumed_clock = None
+        self.delivered_seq = None
 
-    def send(self, values, clock):
+    def send(self, values, clock, seq=None):
         """Deposit and block until the receiver drains the message;
         returns the sender's new clock (receive-completion time)."""
         with self.condition:
             while self.payload is not None:
                 if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
                     raise CommDeadlockError("send never matched")
-            self.payload = (list(values), clock)
+            self.payload = (list(values), clock, seq)
             self.condition.notify_all()
             while self.consumed_clock is None:
                 if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
@@ -136,15 +142,24 @@ class Channel:
     def recv(self, clock, transfer_cost):
         """Block for a message; returns (values, new_clock)."""
         with self.condition:
-            while self.payload is None:
-                if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
-                    raise CommDeadlockError("recv never matched")
-            values, sender_clock = self.payload
-            self.payload = None
-            done = max(clock, sender_clock) + transfer_cost
-            self.consumed_clock = done
-            self.condition.notify_all()
-            return values, done
+            while True:
+                while self.payload is None:
+                    if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
+                        raise CommDeadlockError("recv never matched")
+                values, sender_clock, seq = self.payload
+                self.payload = None
+                if seq is not None and seq == self.delivered_seq:
+                    # duplicate retransmission: ack the sender so it
+                    # unblocks, but do not deliver the payload twice
+                    self.consumed_clock = max(clock, sender_clock)
+                    self.condition.notify_all()
+                    continue
+                if seq is not None:
+                    self.delivered_seq = seq
+                done = max(clock, sender_clock) + transfer_cost
+                self.consumed_clock = done
+                self.condition.notify_all()
+                return values, done
 
 
 class MessageFabric:

@@ -52,10 +52,31 @@ class ClockBarrier:
         self._phase1 = threading.Barrier(parties, action=self._compute_max)
         self._phase2 = threading.Barrier(parties)
         self.rounds = 0
+        # quiesce-point hook (repro.recovery.checkpoint): called from
+        # the phase-1 action with every party parked; None costs one
+        # attribute check per round
+        self.on_round = None
 
     def _compute_max(self):
         self._max_holder[0] = max(self._clocks.values())
         self.rounds += 1
+        hook = self.on_round
+        if hook is not None:
+            try:
+                hook(self.rounds)
+            except BaseException as exc:
+                # the action's thread re-raises out of wait(); record
+                # the cause first so peers see a BarrierAbortedError
+                # naming it instead of a misleading timeout
+                if self.failure is None:
+                    self.failure = exc
+                raise
+
+    def published_clocks(self):
+        """rank -> entry clock for the round in flight.  Meaningful
+        from the phase-1 action, where every party has published and
+        none has resumed."""
+        return dict(self._clocks)
 
     def wait(self, rank, clock):
         """Synchronize; returns the new (aligned) clock value."""

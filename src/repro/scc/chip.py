@@ -81,6 +81,9 @@ class SCCChip:
         # attached and every hook below is a single dead branch, so an
         # un-faulted run prices accesses byte-identically
         self.faults = None
+        # ECC scrubbing (repro.recovery.ecc): ``None`` means reads are
+        # unprotected — flipped values reach the program as in PR 3
+        self.ecc = None
 
     # -- observability ----------------------------------------------------------
 
@@ -139,9 +142,20 @@ class SCCChip:
         if self.mpb.stats.corrupted_reads:
             samples.append(("counter", "scc_mpb_corrupted_reads", {},
                             self.mpb.stats.corrupted_reads))
+        if self.mpb.stats.ecc_corrected:
+            samples.append(("counter", "scc_mpb_ecc_corrected", {},
+                            self.mpb.stats.ecc_corrected))
+        dram_ecc = sum(controller.stats.ecc_corrected
+                       for controller in self.controllers)
+        if dram_ecc:
+            samples.append(("counter", "scc_dram_ecc_corrected", {},
+                            dram_ecc))
         if self.mesh.drops:
             samples.append(("counter", "scc_mesh_dropped_messages", {},
                             self.mesh.drops))
+        if self.mesh.retries:
+            samples.append(("counter", "scc_mesh_retried_messages", {},
+                            self.mesh.retries))
         for link, count in sorted(self.mesh.link_traffic.items()):
             samples.append(("counter", "scc_mesh_link_traffic",
                             {"link": "%s->%s" % link}, count))

@@ -14,12 +14,14 @@ linear approximation) because only the relative shape matters.
 
 
 class MemoryControllerStats:
-    __slots__ = ("reads", "writes", "busy_cycles")
+    __slots__ = ("reads", "writes", "busy_cycles", "ecc_corrected")
 
     def __init__(self):
         self.reads = 0
         self.writes = 0
         self.busy_cycles = 0
+        # flipped reads the scrubber repaired (repro.recovery.ecc)
+        self.ecc_corrected = 0
 
     @property
     def accesses(self):
@@ -29,6 +31,7 @@ class MemoryControllerStats:
         self.reads = 0
         self.writes = 0
         self.busy_cycles = 0
+        self.ecc_corrected = 0
 
     def __repr__(self):
         return "MemoryControllerStats(r=%d, w=%d, busy=%d)" % (

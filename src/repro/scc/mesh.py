@@ -24,11 +24,18 @@ class Mesh:
         # messages lost to injected link faults (repro.faults); the
         # increment is GIL-atomic like the other counters
         self.drops = 0
+        # retransmissions issued by the recovery layer's send retry
+        self.retries = 0
 
     def record_drop(self):
         """Count one injected message drop (the access pays a full
         retransmission; the mesh only keeps the tally)."""
         self.drops += 1
+
+    def record_retry(self):
+        """Count one recovery-layer retransmission of a dropped
+        RCCE_send message (repro.recovery.retry)."""
+        self.retries += 1
 
     def enable_traffic_recording(self):
         import threading
@@ -54,6 +61,7 @@ class Mesh:
         else:
             self.link_traffic.clear()
         self.drops = 0
+        self.retries = 0
 
     def hot_links(self, top=5):
         """The ``top`` busiest links as ((from, to), count) pairs."""

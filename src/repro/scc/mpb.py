@@ -9,7 +9,8 @@ requesting core to the tile that owns the target MPB segment — so
 
 
 class MPBStats:
-    __slots__ = ("reads", "writes", "bytes_moved", "corrupted_reads")
+    __slots__ = ("reads", "writes", "bytes_moved", "corrupted_reads",
+                 "ecc_corrected")
 
     def __init__(self):
         self.reads = 0
@@ -17,17 +18,20 @@ class MPBStats:
         self.bytes_moved = 0
         # reads whose value an injected fault flipped (repro.faults)
         self.corrupted_reads = 0
+        # flipped reads the scrubber repaired (repro.recovery.ecc)
+        self.ecc_corrected = 0
 
     def reset(self):
         self.reads = 0
         self.writes = 0
         self.bytes_moved = 0
         self.corrupted_reads = 0
+        self.ecc_corrected = 0
 
     def __repr__(self):
-        return "MPBStats(r=%d, w=%d, bytes=%d, corrupted=%d)" % (
-            self.reads, self.writes, self.bytes_moved,
-            self.corrupted_reads)
+        return "MPBStats(r=%d, w=%d, bytes=%d, corrupted=%d, ecc=%d)" \
+            % (self.reads, self.writes, self.bytes_moved,
+               self.corrupted_reads, self.ecc_corrected)
 
 
 class MessagePassingBuffer:

@@ -113,6 +113,10 @@ class Interpreter:
         faults = getattr(chip, "faults", None)
         self._faults = faults if faults is not None and faults.active \
             else None
+        # ECC scrubbing (repro.recovery.ecc) only matters when a read
+        # can actually be flipped, so it rides the fault gate
+        self._ecc = getattr(chip, "ecc", None) \
+            if self._faults is not None else None
 
         stack_segment = chip.address_space.alloc_private(
             core_id, STACK_BYTES, "stack-core%d" % core_id)
@@ -229,7 +233,10 @@ class Interpreter:
             self.tracer.record(self, addr, "read")
         value = self.memory.load(addr)
         if self._faults is not None:
+            raw = value
             value = self._faults.filter_load(self, addr, value)
+            if self._ecc is not None and value is not raw:
+                value = self._ecc.scrub(self, addr, value, raw)
         if ctype is not None and isinstance(value, int) and \
                 isinstance(ctype, ctypes.PrimitiveType) and \
                 ctype.is_floating:

@@ -45,6 +45,13 @@ class Memory:
         return [self._data.get(addr + i * stride, default)
                 for i in range(count)]
 
+    def items(self):
+        """Every written (address, value) pair, address-sorted — the
+        checkpoint layer's full-state capture.  Only called at barrier
+        quiesce points, where no simulated core is mid-store."""
+        with self._lock:
+            return sorted(self._data.items(), key=lambda kv: kv[0])
+
     def __len__(self):
         return len(self._data)
 

@@ -10,16 +10,40 @@ is the slowest core's final clock — wall time, as the paper measures.
 
 Both runners accept an optional ``faults`` spec (see ``repro.faults``)
 and — for ``run_rcce`` — an optional ``watchdog`` (see
-``repro.sim.watchdog``).  With both left at ``None`` every hook is a
-single attribute check and runs are byte-identical to a build without
-this layer.
+``repro.sim.watchdog``) and ``recovery``
+(:class:`repro.recovery.RecoveryOptions`).  With all left at ``None``
+every hook is a single attribute check and runs are byte-identical to
+a build without this layer.
+
+``run_rcce_supervised`` wraps ``run_rcce`` in a restart loop: when a
+restartable fault kills a checkpointing run, it reloads the newest
+snapshot and re-runs (restore-by-verified-replay) up to
+``max_restarts`` times, reporting every attempt in a
+:class:`~repro.recovery.RecoveryReport`.
 """
 
+import hashlib
+import os
 import threading
 
 from repro.cfront.frontend import parse_program
-from repro.faults import FaultInjector
+from repro.diagnostics import Diagnostic
+from repro.faults import CoreCrashFault, FaultInjector
 from repro.rcce.api import RCCEWorld
+from repro.recovery import (
+    CheckpointManager,
+    ECCScrubber,
+    RecoveryOptions,
+    RecoveryReport,
+    ReplayVerifier,
+    SendRetrier,
+    Snapshot,
+    SnapshotDivergenceError,
+    SnapshotMismatchError,
+    StateProbe,
+    UncorrectableECCError,
+    load_snapshot,
+)
 from repro.scc.chip import SCCChip
 from repro.scc.config import Table61Config
 from repro.sim.interpreter import (
@@ -30,17 +54,26 @@ from repro.sim.interpreter import (
 from repro.sim.machine import Memory
 from repro.sim.pthread_rt import PthreadRuntime
 from repro.sim.watchdog import (
+    BarrierAbortedError,
     SimulationTimeout,
     WatchdogError,
     core_dumps,
 )
+
+# Failures worth a supervised restart: one-shot crashes do not re-fire
+# on replay, and a hung attempt may have been wedged by the fault the
+# checkpoint predates.  Everything else (parse errors, divergence,
+# retry exhaustion — all deterministic under replay) fails fast.
+RESTARTABLE_ERRORS = (CoreCrashFault, SimulationTimeout,
+                      UncorrectableECCError)
 
 
 class RunResult:
     """Outcome of one simulated program run."""
 
     def __init__(self, cycles, config, output, per_core_cycles=None,
-                 exit_value=None, stats=None, metrics=None):
+                 exit_value=None, stats=None, metrics=None,
+                 diagnostics=None):
         self.cycles = cycles
         self.config = config
         self.output = output
@@ -49,6 +82,10 @@ class RunResult:
         self.stats = stats or {}
         # the chip's metrics-registry snapshot taken at run end
         self.metrics = metrics or {}
+        # runner-level findings (engine downgrades, recovery events)
+        self.diagnostics = list(diagnostics) if diagnostics else []
+        # RecoveryReport when the run went through the supervisor
+        self.recovery = None
 
     @property
     def seconds(self):
@@ -104,17 +141,39 @@ def _as_injector(faults):
     return injector if injector.active else None
 
 
-def _attach_faults(chip, injector, engine):
-    """Attach the injector and pick the engine actually used.
+def _source_sha(program):
+    """Content hash of a source-string program (None for a pre-parsed
+    unit) — snapshots record it so a restore from the wrong program is
+    rejected instead of diverging confusingly mid-replay."""
+    if isinstance(program, str):
+        return hashlib.sha256(program.encode("utf-8")).hexdigest()
+    return None
 
-    Fault runs force the reference tree-walking engine: the compiled
-    engine inlines memory fast paths that would bypass value-flip
-    hooks, and the two engines are verified cycle-identical so nothing
-    is lost."""
-    if injector is None:
-        return engine
-    injector.attach(chip)
-    return "tree"
+
+def _resolve_engine(engine, injector, checkpointed=False):
+    """Pick the engine actually used; returns ``(engine, warning)``.
+
+    Fault-injected and checkpointed runs need the reference
+    tree-walking engine: the compiled engine inlines memory fast paths
+    that would bypass value-flip hooks, and checkpoints capture the
+    tree walker's state at barrier quiesce points.  The two engines
+    are verified cycle-identical so nothing is lost — but a requested
+    ``compiled`` run is downgraded *loudly*, as a warning
+    :class:`Diagnostic` the CLI prints (and refuses under
+    ``--strict``), never silently."""
+    needs_tree = injector is not None or checkpointed
+    if not needs_tree or engine != "compiled":
+        return engine, None
+    reasons = []
+    if injector is not None:
+        reasons.append("fault injection")
+    if checkpointed:
+        reasons.append("checkpoint/restore")
+    return "tree", Diagnostic.warning(
+        "simulate",
+        "engine 'compiled' was requested but %s requires the "
+        "reference tree engine; running with engine 'tree' (verified "
+        "cycle-identical)" % " and ".join(reasons))
 
 
 def _timeout_from(exc, interpreters, ranks=None):
@@ -138,7 +197,9 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     injector = _as_injector(faults)
-    engine = _attach_faults(chip, injector, engine)
+    engine, downgrade = _resolve_engine(engine, injector)
+    if injector is not None:
+        injector.attach(chip)
     memory = Memory()
     runtime = PthreadRuntime()
     interpreters = []
@@ -174,7 +235,8 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
             "scheduling_overhead_cycles": overhead,
             "cache": chip.cache_stats(core),
         },
-        metrics=metrics)
+        metrics=metrics,
+        diagnostics=[downgrade] if downgrade is not None else None)
 
 
 class _CoreError:
@@ -188,17 +250,28 @@ class _CoreError:
         with self.lock:
             if self.exc is None:
                 self.exc = exc
+            elif isinstance(self.exc, BarrierAbortedError) and \
+                    not isinstance(exc, BarrierAbortedError):
+                # a peer's secondary barrier abort won the race; the
+                # originating failure is the one worth reporting
+                self.exc = exc
 
 
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
              max_steps=200_000_000, engine="compiled", faults=None,
-             watchdog=None):
+             watchdog=None, recovery=None):
     """Run a translated RCCE program on ``num_ues`` simulated cores."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     injector = _as_injector(faults)
-    engine = _attach_faults(chip, injector, engine)
+    if recovery is not None and not recovery.active:
+        recovery = None
+    checkpointed = recovery is not None and recovery.checkpointed
+    engine, downgrade = _resolve_engine(engine, injector, checkpointed)
+    diagnostics = [downgrade] if downgrade is not None else []
+    if injector is not None:
+        injector.attach(chip)
     if engine == "compiled":
         # lower the unit once, before any core thread spawns: the
         # compiled-unit cache is shared and this keeps thread startup
@@ -212,6 +285,47 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     memory = Memory()
     error = _CoreError()
     ranks = {}
+
+    scrubber = manager = verifier = snapshot = None
+    if recovery is not None:
+        if recovery.ecc:
+            scrubber = ECCScrubber(recovery.scrub_cycles).attach(chip)
+        if recovery.retry:
+            world.retrier = SendRetrier(injector,
+                                        recovery.retry_policy)
+        if recovery.restore is not None:
+            snapshot = recovery.restore
+            if not isinstance(snapshot, Snapshot):
+                snapshot = load_snapshot(snapshot, config=config,
+                                         source_sha=_source_sha(program))
+            if snapshot.num_ues != num_ues or \
+                    snapshot.core_map != world.core_map:
+                raise SnapshotMismatchError(
+                    "snapshot %s was taken with num_ues=%d "
+                    "core_map=%r, not num_ues=%d core_map=%r"
+                    % (snapshot.path or "<snapshot>",
+                       snapshot.num_ues, snapshot.core_map,
+                       num_ues, world.core_map))
+            verifier = ReplayVerifier(snapshot)
+        if recovery.checkpoint_path:
+            manager = CheckpointManager(recovery.checkpoint_path,
+                                        recovery.checkpoint_every)
+    if manager is not None or verifier is not None:
+        probe = StateProbe(chip, world, memory, interpreters, ranks,
+                           num_ues, world.core_map,
+                           source_sha=_source_sha(program))
+        hooks = []
+        if verifier is not None:
+            hooks.append(verifier.bind(probe).on_round)
+        if manager is not None:
+            hooks.append(manager.bind(probe).on_round)
+        if len(hooks) == 1:
+            world.barrier.on_round = hooks[0]
+        else:
+            def barrier_round(round_id, _hooks=tuple(hooks)):
+                for hook in _hooks:
+                    hook(round_id)
+            world.barrier.on_round = barrier_round
 
     def core_main(rank):
         try:
@@ -247,11 +361,23 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     finally:
         for rank in range(num_ues):
             chip.deactivate_core(world.core_map[rank])
+        world.barrier.on_round = None
+        # snapshot metrics before unhooking so the recovery collectors
+        # (checkpoints, ECC) contribute their final counts
         metrics = chip.metrics.snapshot()
+        if manager is not None:
+            manager.unbind()
+        if scrubber is not None:
+            scrubber.detach()
         if injector is not None:
             injector.detach()
     if error.exc is not None:
         raise _timeout_from(error.exc, interpreters, ranks)
+    if verifier is not None and not verifier.verified:
+        raise SnapshotDivergenceError(
+            "run finished without reaching snapshot round %d (%s) — "
+            "the snapshot does not belong to this run"
+            % (snapshot.round, snapshot.path or "<snapshot>"))
 
     per_core = {interp.core_id: interp.cycles for interp in interpreters}
     total = max(per_core.values())
@@ -269,4 +395,73 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
                             for index, stats
                             in chip.controller_stats().items()},
         },
-        metrics=metrics)
+        metrics=metrics,
+        diagnostics=diagnostics)
+
+
+def run_rcce_supervised(program, num_ues, config=None, core_map=None,
+                        max_steps=200_000_000, engine="compiled",
+                        faults=None, recovery=None, max_restarts=1,
+                        chip_factory=None, watchdog_factory=None):
+    """Run an RCCE program under a restarting supervisor.
+
+    The run checkpoints at barrier rounds
+    (``recovery.checkpoint_path`` is required); when it dies from a
+    :data:`RESTARTABLE_ERRORS` failure, the supervisor reloads the
+    newest snapshot and re-runs on a fresh chip — keeping the *same*
+    fault injector, with its RNG streams reset, so the replayed prefix
+    reproduces the original injection schedule and one-shot faults
+    stay fired.  After ``max_restarts`` restarts the last error
+    propagates with the :class:`RecoveryReport` attached as
+    ``recovery_report``.
+
+    ``chip_factory``/``watchdog_factory`` build one chip/watchdog per
+    attempt (both are stateful across a failed run: a watchdog's abort
+    latch is sticky and a chip's address space accumulates).
+    """
+    config = config or Table61Config()
+    recovery = recovery if recovery is not None else RecoveryOptions()
+    if not recovery.checkpoint_path:
+        raise ValueError(
+            "supervised runs need recovery.checkpoint_path")
+    injector = _as_injector(faults)
+    report = RecoveryReport(max_restarts)
+    source_sha = _source_sha(program)
+    options = recovery
+    attempt = 0
+    while True:
+        chip = chip_factory() if chip_factory is not None \
+            else SCCChip(config)
+        watchdog = watchdog_factory() if watchdog_factory is not None \
+            else None
+        try:
+            result = run_rcce(
+                program, num_ues, config=config, chip=chip,
+                core_map=core_map, max_steps=max_steps, engine=engine,
+                faults=injector, watchdog=watchdog, recovery=options)
+        except RESTARTABLE_ERRORS as exc:
+            if attempt >= max_restarts:
+                exc.recovery_report = report
+                raise
+            snapshot = None
+            restored = None
+            if os.path.exists(recovery.checkpoint_path):
+                snapshot = load_snapshot(recovery.checkpoint_path,
+                                         config=config,
+                                         source_sha=source_sha)
+                restored = snapshot.round
+            report.record_failure(attempt, exc, restored)
+            options = recovery.with_restore(snapshot)
+            if injector is not None:
+                injector.reset_streams()
+            attempt += 1
+            continue
+        report.restarts = attempt
+        report.recovered = attempt > 0
+        result.recovery = report
+        result.diagnostics.extend(report.diagnostics())
+        if report.restarts:
+            result.metrics.setdefault("counters", {})[
+                "recovery_restarts"] = [{"labels": {},
+                                         "value": report.restarts}]
+        return result

@@ -229,3 +229,110 @@ class TestFaultFlags:
                                 "--mode", "rcce", "--no-watchdog"])
         assert code == 0
 
+
+
+RECOVERY_KERNEL = """
+int RCCE_APP(int argc, char **argv) {
+    int me;
+    int i;
+    int k;
+    double sum;
+    double *buf;
+    RCCE_init(&argc, &argv);
+    me = RCCE_ue();
+    buf = (double *) RCCE_malloc(256);
+    sum = 0.0;
+    for (k = 0; k < 12; k++) {
+        for (i = 0; i < 8; i++) {
+            buf[me * 8 + i] = me * 100.0 + k + i;
+        }
+        for (i = 0; i < 8; i++) {
+            sum = sum + buf[me * 8 + i];
+        }
+        RCCE_barrier(&RCCE_COMM_WORLD);
+    }
+    printf("ue %d sum %f\\n", me, sum);
+    RCCE_finalize();
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def recovery_file(tmp_path):
+    path = tmp_path / "recovery.c"
+    path.write_text(RECOVERY_KERNEL)
+    return str(path)
+
+
+class TestRecoveryFlags:
+    def test_downgrade_warns_on_stderr(self, recovery_file):
+        code, _, err = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--faults", "mpb_flip:p=0.0001,seed=1"])
+        assert code == 0
+        assert "warning" in err
+        assert "tree" in err
+
+    def test_downgrade_is_an_error_under_strict(self, recovery_file):
+        code, _, err = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--faults", "mpb_flip:p=0.0001,seed=1", "--strict"])
+        assert code == 2
+        assert "--engine tree" in err
+
+    def test_tree_engine_with_faults_stays_quiet(self, recovery_file):
+        code, _, err = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--engine", "tree",
+             "--faults", "mpb_flip:p=0.0001,seed=1"])
+        assert code == 0
+        assert "warning" not in err
+
+    def test_supervised_recovery_exits_0(self, recovery_file,
+                                         tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        metrics_path = str(tmp_path / "metrics.json")
+        code, output, err = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--engine", "tree",
+             "--faults",
+             "mpb_flip:p=0.02,seed=3;core_crash:core=1,at=6000",
+             "--recover", "--max-restarts", "2",
+             "--checkpoint", ckpt, "--metrics", metrics_path])
+        assert code == 0
+        assert "restart" in err
+        with open(metrics_path) as handle:
+            payload = handle.read()
+        assert "ecc_corrected" in payload
+        assert "checkpoints_captured" in payload
+
+    def test_checkpoint_then_restore(self, recovery_file, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        code, first, _ = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--engine", "tree", "--checkpoint-every", "2",
+             "--checkpoint", ckpt])
+        assert code == 0
+        code, second, _ = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--engine", "tree", "--restore", ckpt])
+        assert code == 0
+        assert first == second
+
+    def test_bad_snapshot_exits_65(self, recovery_file, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_text("{ definitely not a snapshot")
+        code, _, err = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--engine", "tree", "--restore", str(bad)])
+        assert code == 65
+        assert "bad snapshot" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_snapshot_exits_66(self, recovery_file, tmp_path):
+        code, _, err = run_cli_err(
+            ["run", recovery_file, "--mode", "rcce", "--ues", "2",
+             "--engine", "tree",
+             "--restore", str(tmp_path / "absent.ckpt")])
+        assert code == 66
