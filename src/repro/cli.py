@@ -113,6 +113,14 @@ def build_parser():
     run.add_argument("--restore", default=None, metavar="FILE",
                      help="restore a snapshot by verified replay, "
                      "then run to completion")
+    run.add_argument("--race", action="store_true",
+                     help="audit the run with the dynamic race "
+                     "detector and HSM coherence checker (see "
+                     "docs/race_detection.md); findings print as "
+                     "diagnostics and, with --strict, fail the run")
+    run.add_argument("--race-report", default=None, metavar="FILE",
+                     help="write the race audit (findings with "
+                     "core/pc/variable/epoch provenance) as JSON")
     run.add_argument("--max-steps", type=int, default=200_000_000,
                      help="per-core step budget before the run is "
                      "aborted with a SimulationTimeout")
@@ -265,6 +273,9 @@ def cmd_run(args, out, err):
         else:
             watchdog = Watchdog()
     tracer = EventTracer() if getattr(args, "trace", None) else None
+    race_on = getattr(args, "race", False) \
+        or getattr(args, "race_report", None) is not None
+    race_reports = {}
     snapshots = {}
     baseline = None
     if args.mode in ("pthread", "compare"):
@@ -276,10 +287,14 @@ def cmd_run(args, out, err):
                                            pthread_chip,
                                            max_steps=args.max_steps,
                                            engine=args.engine,
-                                           faults=faults)
+                                           faults=faults,
+                                           race=race_on)
         snapshots["pthread"] = baseline.metrics
         for diagnostic in baseline.diagnostics:
             err.write(diagnostic.format() + "\n")
+        if baseline.race is not None:
+            race_reports["pthread"] = baseline.race
+            out.write(baseline.race.render().splitlines()[0] + "\n")
         out.write("pthread x1 core : %12d cycles  %s\n"
                   % (baseline.cycles,
                      baseline.stdout().strip().splitlines()[:1]))
@@ -322,7 +337,8 @@ def cmd_run(args, out, err):
                 faults=faults, recovery=recovery,
                 max_restarts=max_restarts,
                 chip_factory=chip_factory,
-                watchdog_factory=watchdog_factory)
+                watchdog_factory=watchdog_factory,
+                race=race_on)
             chip = chips[-1]
         else:
             chip = SCCChip(Table61Config())
@@ -332,10 +348,14 @@ def cmd_run(args, out, err):
             rcce = run_rcce(unit, args.ues, chip.config, chip,
                             max_steps=args.max_steps,
                             engine=args.engine, faults=faults,
-                            watchdog=watchdog, recovery=recovery)
+                            watchdog=watchdog, recovery=recovery,
+                            race=race_on)
         snapshots["rcce"] = rcce.metrics
         for diagnostic in rcce.diagnostics:
             err.write(diagnostic.format() + "\n")
+        if rcce.race is not None:
+            race_reports["rcce"] = rcce.race
+            out.write(rcce.race.render().splitlines()[0] + "\n")
         first = rcce.stdout().strip().splitlines()[:1]
         out.write("rcce    x%d cores: %12d cycles  %s\n"
                   % (args.ues, rcce.cycles, first))
@@ -351,6 +371,19 @@ def cmd_run(args, out, err):
     if getattr(args, "metrics", None):
         write_metrics_json(snapshots, args.metrics)
         out.write("metrics written to %s\n" % args.metrics)
+    if getattr(args, "race_report", None) and race_reports:
+        import json
+        with open(args.race_report, "w") as handle:
+            json.dump({mode: report.as_dict()
+                       for mode, report in race_reports.items()},
+                      handle, indent=2)
+            handle.write("\n")
+        out.write("race report written to %s\n" % args.race_report)
+    if any(report.has_findings for report in race_reports.values()) \
+            and getattr(args, "strict", False):
+        # the soundness audit failed: the translated program can race
+        # or read stale cacheable lines on the real chip
+        return EXIT_SIM
     return EXIT_OK
 
 

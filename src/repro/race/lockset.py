@@ -1,0 +1,53 @@
+"""Lock bookkeeping: held-lock sets and per-lock vector clocks.
+
+Locks give the detector two things.  First, happens-before edges: a
+release copies the holder's vector clock into the lock, an acquire
+joins it back — so critical sections protected by one lock are ordered
+and never race.  Second, the Eraser-style *candidate lockset* used as
+a refinement on write-write conflicts: if every write to a location
+was performed under some common lock, a vector-clock conflict (e.g.
+through an unmodeled ordering) is reported as suppressed rather than
+as a race.
+
+Lock ids are namespaced tuples so pthread mutexes (keyed by the mutex
+variable's address) and SCC test-and-set registers (keyed by register
+index) never collide.
+"""
+
+
+class LockRegistry:
+    """Held locks per thread + release clocks per lock."""
+
+    def __init__(self):
+        self._held = {}      # tid -> set of lock ids
+        self._release = {}   # lock id -> VectorClock at last release
+
+    def held(self, tid):
+        locks = self._held.get(tid)
+        return locks if locks is not None else frozenset()
+
+    def acquire(self, tid, lock_id, vc):
+        """Record the acquisition and join the lock's release clock
+        into ``vc`` (the acquiring thread's vector clock)."""
+        self._held.setdefault(tid, set()).add(lock_id)
+        release_vc = self._release.get(lock_id)
+        if release_vc is not None:
+            vc.join(release_vc)
+
+    def release(self, tid, lock_id, vc):
+        """Record the release: the lock remembers ``vc`` and the
+        holder's own component advances (a release event)."""
+        held = self._held.get(tid)
+        if held is not None:
+            held.discard(lock_id)
+        self._release[lock_id] = vc.copy()
+        vc.tick(tid)
+
+    def refine(self, word, tid):
+        """Intersect ``word``'s candidate lockset with the locks the
+        writing thread holds now; returns the new lockset (a set,
+        possibly empty)."""
+        held = self.held(tid)
+        if word.lockset is None:
+            return set(held)
+        return word.lockset & held

@@ -1,0 +1,155 @@
+"""Structured race/coherence findings with per-access provenance.
+
+Each :class:`RaceFinding` pairs two conflicting accesses, each carrying
+core / function (the simulator's program-counter proxy) / variable /
+epoch provenance, and converts to a
+:class:`repro.diagnostics.Diagnostic` so the CLI renders findings with
+the same machinery as pipeline warnings (and ``--strict`` can turn
+them into exit 70).
+"""
+
+from repro.diagnostics import Diagnostic
+
+RACE = "race"              # unordered conflicting accesses (HB)
+COHERENCE = "coherence"    # cacheable line shared across cores (HSM)
+
+
+class RaceAccess:
+    """One side of a conflicting pair."""
+
+    __slots__ = ("kind", "tid", "clock", "core", "function", "cycles")
+
+    def __init__(self, kind, tid, clock, core, function, cycles):
+        self.kind = kind          # "read" | "write"
+        self.tid = tid
+        self.clock = clock
+        self.core = core
+        self.function = function
+        self.cycles = cycles
+
+    @property
+    def epoch(self):
+        return "%s@%d" % (self.tid, self.clock)
+
+    def describe(self):
+        where = self.function or "<static>"
+        return "%s by thread %s (epoch %s) on core %d in %s at cycle " \
+            "%d" % (self.kind, self.tid, self.epoch, self.core, where,
+                    self.cycles)
+
+    def as_dict(self):
+        return {"kind": self.kind, "tid": self.tid,
+                "epoch": self.epoch, "core": self.core,
+                "function": self.function, "cycles": self.cycles}
+
+
+class RaceFinding:
+    """One verified conflict on one simulated memory word."""
+
+    __slots__ = ("category", "addr", "segment", "variable", "prior",
+                 "current", "stale_cacheable")
+
+    def __init__(self, category, addr, segment, variable, prior,
+                 current, stale_cacheable=False):
+        self.category = category        # RACE | COHERENCE
+        self.addr = addr
+        self.segment = segment          # "private" | "shared" | "mpb"
+        self.variable = variable        # resolved name, or None
+        self.prior = prior
+        self.current = current
+        # True when the racing read targets a cacheable line (MPB under
+        # MPBT, or private DRAM) and may observe a stale value
+        self.stale_cacheable = stale_cacheable
+
+    def location(self):
+        name = "'%s'" % self.variable if self.variable else "<anon>"
+        return "%s (%s, addr 0x%x)" % (name, self.segment, self.addr)
+
+    def message(self):
+        if self.category == COHERENCE:
+            head = "stale cacheable line: %s" % self.location()
+            tail = ("core %d's %s is not flushed before the %s — the "
+                    "line is cacheable and shared across cores, which "
+                    "the SCC's coherence-free memory cannot keep "
+                    "consistent"
+                    % (self.prior.core, self.prior.describe(),
+                       self.current.describe()))
+            return "%s: %s" % (head, tail)
+        head = "data race on %s" % self.location()
+        tail = "%s is unordered with %s" % (self.current.describe(),
+                                            self.prior.describe())
+        if self.stale_cacheable:
+            tail += " (and the read targets a cacheable line: it may" \
+                " observe a stale value)"
+        return "%s: %s" % (head, tail)
+
+    def as_diagnostic(self):
+        return Diagnostic.warning("race", self.message())
+
+    def as_dict(self):
+        return {"category": self.category, "addr": self.addr,
+                "segment": self.segment, "variable": self.variable,
+                "stale_cacheable": self.stale_cacheable,
+                "prior": self.prior.as_dict(),
+                "current": self.current.as_dict()}
+
+    def __repr__(self):
+        return "RaceFinding(%s)" % self.message()
+
+
+class RaceReport:
+    """Everything one detector run observed, ready to render/export."""
+
+    def __init__(self, findings=(), checks=0, sync_edges=0,
+                 lockset_suppressed=0, dropped=0):
+        self.findings = list(findings)
+        self.checks = checks
+        self.sync_edges = sync_edges
+        self.lockset_suppressed = lockset_suppressed
+        # findings beyond the detector's cap (counted, not stored)
+        self.dropped = dropped
+
+    @property
+    def has_findings(self):
+        return bool(self.findings) or self.dropped > 0
+
+    @property
+    def ok(self):
+        return not self.has_findings
+
+    def counts(self):
+        result = {RACE: 0, COHERENCE: 0}
+        for finding in self.findings:
+            result[finding.category] = result.get(finding.category,
+                                                  0) + 1
+        return result
+
+    def diagnostics(self):
+        return [finding.as_diagnostic() for finding in self.findings]
+
+    def render(self):
+        if not self.has_findings:
+            return "race audit: clean (%d accesses checked, %d sync " \
+                "edges)" % (self.checks, self.sync_edges)
+        counts = self.counts()
+        lines = ["race audit: %d race(s), %d coherence violation(s)%s"
+                 % (counts.get(RACE, 0), counts.get(COHERENCE, 0),
+                    " (+%d dropped past the cap)" % self.dropped
+                    if self.dropped else "")]
+        for finding in self.findings:
+            lines.append("  " + finding.message())
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return {"checks": self.checks,
+                "sync_edges": self.sync_edges,
+                "lockset_suppressed": self.lockset_suppressed,
+                "dropped": self.dropped,
+                "counts": self.counts(),
+                "findings": [f.as_dict() for f in self.findings]}
+
+    def __len__(self):
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)

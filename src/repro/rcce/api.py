@@ -88,6 +88,11 @@ class RCCEWorld:
             num_ues, chip.barrier_cost(num_ues), **barrier_kwargs)
         self.registers = TestAndSetRegisters(chip.config.num_cores,
                                              watchdog)
+        # race detector (repro.race), installed on the chip by the
+        # runner before the world is built; None = every hook dead
+        self.race = getattr(chip, "race", None)
+        self.barrier.race = self.race
+        self.registers.race = self.race
         self.shared_heap = _SymmetricHeap(
             chip.address_space.alloc_shared, "shmalloc")
         self.mpb_heap = _SymmetricHeap(
@@ -197,6 +202,7 @@ class RCCECoreRuntime:
         self.world = world
         self.rank = rank
         self.core_id = world.core_map[rank]
+        self.race = world.race
         self._collective_round = 0
         # mesh topology and the rank->core map are fixed for the
         # world's lifetime, so hop counts to each peer are memoized
@@ -244,6 +250,11 @@ class RCCECoreRuntime:
     def _eval(interp, arg_nodes):
         return [interp.eval_expr(node) for node in arg_nodes]
 
+    def race_thread(self):
+        """The thread id the race detector stamps accesses with: UE
+        ranks (stable under any core_map)."""
+        return self.rank
+
     # -- lifecycle ---------------------------------------------------------------
 
     def _init(self, interp, arg_nodes):
@@ -285,6 +296,9 @@ class RCCECoreRuntime:
         interp.charge(SHMALLOC_COST)
         size = max(int(args[0]), 4)
         segment = self.world.shared_heap.allocate(self.rank, size)
+        if self.race is not None:
+            self.race.register(segment.label or "shmalloc",
+                               segment.base, segment.size, "shared")
         return Pointer(segment.base, 4, None)
 
     def _shmalloc_split(self, interp, arg_nodes):
@@ -295,6 +309,9 @@ class RCCECoreRuntime:
         size = max(int(args[0]), 4)
         on_chip = max(int(args[1]), 0) if len(args) > 1 else 0
         segment = self.world.allocate_split(self.rank, size, on_chip)
+        if self.race is not None:
+            self.race.register(segment.label or "split",
+                               segment.base, segment.size, "shared")
         return Pointer(segment.base, 4, None)
 
     def _mpb_malloc(self, interp, arg_nodes):
@@ -317,6 +334,9 @@ class RCCECoreRuntime:
             events.instant(self.core_id, interp.cycles, "mpb_alloc",
                            "mem", {"size": size, "fallback": fallback},
                            pid=self.world.chip.trace_pid)
+        if self.race is not None:
+            self.race.register(segment.label or "mpbmalloc",
+                               segment.base, segment.size, "shared")
         return Pointer(segment.base, 4, None)
 
     def _free(self, interp, arg_nodes):
@@ -388,6 +408,12 @@ class RCCECoreRuntime:
         stride = max(dst.stride, 1)
         count = max(nbytes // stride, 1)
         interp.memory.memcpy(dst.addr, src.addr, count, stride)
+        if self.race is not None:
+            # the bulk copy bypasses interp.load/store, so audit it here
+            self.race.record_range(interp, src.addr, count, stride,
+                                   "read")
+            self.race.record_range(interp, dst.addr, count, stride,
+                                   "write")
         if is_put:
             self.world.put_bytes += nbytes
         else:
@@ -432,7 +458,10 @@ class RCCECoreRuntime:
         if len(args) < 3 or not isinstance(args[0], Pointer):
             return -1
         buf, nbytes, dest = args[0], max(int(args[1]), 0), int(args[2])
-        values, _, _ = self._buffer_values(interp, buf, nbytes)
+        values, count, stride = self._buffer_values(interp, buf, nbytes)
+        if self.race is not None:
+            self.race.record_range(interp, buf.addr, count, stride,
+                                   "read")
         cost = self._transfer_cost(dest, nbytes)
         channel = self.world.fabric.channel(self.rank, dest)
         entry = interp.cycles
@@ -443,7 +472,8 @@ class RCCECoreRuntime:
             interp.charge(retrier.transmit(self, interp, dest, seq,
                                            cost))
         interp.cycles = channel.send(values, interp.cycles + cost,
-                                     seq=seq)
+                                     seq=seq, race=self.race,
+                                     tid=self.rank)
         self.world.messages_sent += 1
         self.world.send_bytes += nbytes
         events = self.world.chip.events
@@ -463,7 +493,8 @@ class RCCECoreRuntime:
         cost = self._transfer_cost(source, nbytes)
         channel = self.world.fabric.channel(source, self.rank)
         entry = interp.cycles
-        values, clock = channel.recv(interp.cycles, cost)
+        values, clock = channel.recv(interp.cycles, cost,
+                                     race=self.race, tid=self.rank)
         interp.cycles = clock
         events = self.world.chip.events
         if events.enabled:
@@ -473,6 +504,9 @@ class RCCECoreRuntime:
         stride = max(buf.stride, 1)
         for index, value in enumerate(values):
             interp.memory.store(buf.addr + index * stride, value)
+        if self.race is not None and values:
+            self.race.record_range(interp, buf.addr, len(values),
+                                   stride, "write")
         return 0
 
     # -- MPB flags ---------------------------------------------------------------------
@@ -504,7 +538,8 @@ class RCCECoreRuntime:
         flag_id = self._flag_id(interp, args[0])
         target = int(args[2]) if len(args) > 2 else self.rank
         interp.charge(self._transfer_cost(target, 4))
-        self.world.flags.write(flag_id, int(args[1]), interp.cycles)
+        self.world.flags.write(flag_id, int(args[1]), interp.cycles,
+                               race=self.race, tid=self.rank)
         return 0
 
     def _flag_read(self, interp, arg_nodes):
@@ -515,7 +550,8 @@ class RCCECoreRuntime:
         flag_id = self._flag_id(interp, args[0])
         source = int(args[2]) if len(args) > 2 else self.rank
         interp.charge(self._transfer_cost(source, 4))
-        value = self.world.flags.read(flag_id)
+        value = self.world.flags.read(flag_id, race=self.race,
+                                      tid=self.rank)
         if len(args) > 1 and isinstance(args[1], Pointer):
             interp.store(args[1].addr, value)
         return value
@@ -528,7 +564,8 @@ class RCCECoreRuntime:
         flag_id = self._flag_id(interp, args[0])
         interp.charge(self.world.chip.config.mpb_base_cycles)
         interp.cycles = self.world.flags.wait_until(
-            flag_id, int(args[1]), interp.cycles)
+            flag_id, int(args[1]), interp.cycles, race=self.race,
+            tid=self.rank)
         return 0
 
     # -- collectives -------------------------------------------------------------------
@@ -548,6 +585,9 @@ class RCCECoreRuntime:
         count = max(nbytes // stride, 1)
         if self.rank == root:
             values = interp.memory.snapshot_range(buf.addr, count, stride)
+            if self.race is not None:
+                self.race.record_range(interp, buf.addr, count, stride,
+                                       "read")
         else:
             values = []
         interp.charge(self._transfer_cost(root, nbytes))
@@ -555,8 +595,12 @@ class RCCECoreRuntime:
             self.rank, interp.cycles, values, self._next_round())
         interp.cycles = clock
         if self.rank != root:
-            for index, value in enumerate(deposits.get(root, [])):
+            delivered = deposits.get(root, [])
+            for index, value in enumerate(delivered):
                 interp.memory.store(buf.addr + index * stride, value)
+            if self.race is not None and delivered:
+                self.race.record_range(interp, buf.addr,
+                                       len(delivered), stride, "write")
         return 0
 
     def _reduce_common(self, interp, arg_nodes, all_ranks):
@@ -578,6 +622,9 @@ class RCCECoreRuntime:
         root = None if all_ranks else int(args[5]) if len(args) > 5 else 0
         stride = max(inbuf.stride, 1)
         values = interp.memory.snapshot_range(inbuf.addr, count, stride)
+        if self.race is not None:
+            self.race.record_range(interp, inbuf.addr, count, stride,
+                                   "read")
         interp.charge(self._transfer_cost(
             root if root is not None else 0, count * stride))
         deposits, clock = self.world.collectives.exchange(
@@ -589,6 +636,9 @@ class RCCECoreRuntime:
             for index, value in enumerate(result):
                 interp.memory.store(outbuf.addr + index * out_stride,
                                     value)
+            if self.race is not None and result:
+                self.race.record_range(interp, outbuf.addr,
+                                       len(result), out_stride, "write")
         return 0
 
     def _reduce(self, interp, arg_nodes):

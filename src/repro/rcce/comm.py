@@ -77,23 +77,29 @@ class FlagTable:
             self._values.pop(flag_id, None)
             self._write_clocks.pop(flag_id, None)
 
-    def write(self, flag_id, value, clock):
+    def write(self, flag_id, value, clock, race=None, tid=None):
         with self._condition:
             if flag_id not in self._values:
                 raise CommDeadlockError(
                     "write to unallocated flag %r" % flag_id)
             self._values[flag_id] = value
             self._write_clocks[flag_id] = clock
+            if race is not None:
+                # publish the writer's clock before waiters wake: the
+                # release edge must be visible under the same lock
+                race.flag_write(tid, flag_id)
             self._condition.notify_all()
 
-    def read(self, flag_id):
+    def read(self, flag_id, race=None, tid=None):
         with self._lock:
             if flag_id not in self._values:
                 raise CommDeadlockError(
                     "read of unallocated flag %r" % flag_id)
+            if race is not None:
+                race.flag_sync(tid, flag_id)
             return self._values[flag_id]
 
-    def wait_until(self, flag_id, value, clock):
+    def wait_until(self, flag_id, value, clock, race=None, tid=None):
         """Block until the flag holds ``value``; returns the waiter's
         new simulated clock."""
         deadline = DEADLOCK_TIMEOUT_SECONDS
@@ -105,6 +111,8 @@ class FlagTable:
                 if not self._condition.wait(timeout=deadline):
                     raise CommDeadlockError(
                         "flag %r never reached %r" % (flag_id, value))
+            if race is not None:
+                race.flag_sync(tid, flag_id)
             return max(clock, self._write_clocks.get(flag_id, 0))
 
 
@@ -118,44 +126,54 @@ class Channel:
 
     def __init__(self):
         self.condition = threading.Condition()
-        self.payload = None       # (values, sender_clock, seq)
+        self.payload = None       # (values, sender_clock, seq, vc)
         self.consumed_clock = None
         self.delivered_seq = None
+        self.ack_vc = None        # receiver's clock for the sender
 
-    def send(self, values, clock, seq=None):
+    def send(self, values, clock, seq=None, race=None, tid=None):
         """Deposit and block until the receiver drains the message;
         returns the sender's new clock (receive-completion time)."""
         with self.condition:
             while self.payload is not None:
                 if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
                     raise CommDeadlockError("send never matched")
-            self.payload = (list(values), clock, seq)
+            sender_vc = race.channel_send(tid) \
+                if race is not None else None
+            self.payload = (list(values), clock, seq, sender_vc)
             self.condition.notify_all()
             while self.consumed_clock is None:
                 if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
                     raise CommDeadlockError("send never completed")
             done = self.consumed_clock
             self.consumed_clock = None
+            if race is not None:
+                race.channel_ack(tid, self.ack_vc)
+                self.ack_vc = None
             self.condition.notify_all()
             return done
 
-    def recv(self, clock, transfer_cost):
+    def recv(self, clock, transfer_cost, race=None, tid=None):
         """Block for a message; returns (values, new_clock)."""
         with self.condition:
             while True:
                 while self.payload is None:
                     if not self.condition.wait(DEADLOCK_TIMEOUT_SECONDS):
                         raise CommDeadlockError("recv never matched")
-                values, sender_clock, seq = self.payload
+                values, sender_clock, seq, sender_vc = self.payload
                 self.payload = None
                 if seq is not None and seq == self.delivered_seq:
                     # duplicate retransmission: ack the sender so it
                     # unblocks, but do not deliver the payload twice
+                    if race is not None:
+                        self.ack_vc = race.channel_recv(tid, None)
                     self.consumed_clock = max(clock, sender_clock)
                     self.condition.notify_all()
                     continue
                 if seq is not None:
                     self.delivered_seq = seq
+                if race is not None:
+                    self.ack_vc = race.channel_recv(tid, sender_vc)
                 done = max(clock, sender_clock) + transfer_cost
                 self.consumed_clock = done
                 self.condition.notify_all()

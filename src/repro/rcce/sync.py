@@ -56,6 +56,8 @@ class ClockBarrier:
         # the phase-1 action with every party parked; None costs one
         # attribute check per round
         self.on_round = None
+        # race detector (repro.race): barrier entry/exit edges
+        self.race = None
 
     def _compute_max(self):
         self._max_holder[0] = max(self._clocks.values())
@@ -80,6 +82,9 @@ class ClockBarrier:
 
     def wait(self, rank, clock):
         """Synchronize; returns the new (aligned) clock value."""
+        race = self.race
+        if race is not None:
+            race.barrier_enter(rank, self.parties, key=id(self))
         with self._lock:
             self._clocks[rank] = clock
         try:
@@ -88,6 +93,8 @@ class ClockBarrier:
             self._phase2.wait(self.timeout)
         except threading.BrokenBarrierError:
             raise self._broken_error(rank) from self.failure
+        if race is not None:
+            race.barrier_exit(rank, key=id(self))
         return aligned
 
     def _broken_error(self, rank):
@@ -130,6 +137,8 @@ class TestAndSetRegisters:
         self._locks = [threading.Lock() for _ in range(num_cores)]
         self.acquisitions = [0] * num_cores
         self.owners = {}  # register index -> holding rank
+        # race detector (repro.race): release->acquire ordering edges
+        self.race = None
 
     def contended(self, register):
         """Whether register ``register`` is currently held (the
@@ -148,9 +157,13 @@ class TestAndSetRegisters:
             self.watchdog.acquire_lock(lock, index, rank, self.owners)
         self.owners[index] = rank
         self.acquisitions[index] += 1
+        if self.race is not None and rank is not None:
+            self.race.lock_acquire(rank, ("reg", index))
 
     def release(self, register, rank=None):
         index = register % self.num_cores
+        if self.race is not None and rank is not None:
+            self.race.lock_release(rank, ("reg", index))
         # clear ownership before freeing the lock so the watchdog never
         # sees a free register with a stale owner
         self.owners.pop(index, None)

@@ -84,6 +84,9 @@ class SCCChip:
         # ECC scrubbing (repro.recovery.ecc): ``None`` means reads are
         # unprotected — flipped values reach the program as in PR 3
         self.ecc = None
+        # race detection (repro.race): ``None`` means no detector is
+        # attached and the interpreter/runtime hooks are dead branches
+        self.race = None
 
     # -- observability ----------------------------------------------------------
 

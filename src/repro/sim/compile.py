@@ -191,6 +191,8 @@ def _ld(I, addr, site):
     I.cycles += e[2](addr, "read", I.cycles)
     if I.tracer is not None:
         I.tracer.record(I, addr, "read")
+    if I._race is not None:
+        I._race.record(I, addr, "read")
     return I._mem_get(addr, 0)
 
 
@@ -203,6 +205,8 @@ def _st(I, addr, value, site, co):
     I.cycles += e[2](addr, "write", I.cycles)
     if I.tracer is not None:
         I.tracer.record(I, addr, "write")
+    if I._race is not None:
+        I._race.record(I, addr, "write")
     if co is not None:
         value = co(value)
     I._mem_set(addr, value)
@@ -218,6 +222,8 @@ def _st_dyn(I, addr, value, site, ct):
     I.cycles += e[2](addr, "write", I.cycles)
     if I.tracer is not None:
         I.tracer.record(I, addr, "write")
+    if I._race is not None:
+        I._race.record(I, addr, "write")
     value = coerce(ct, value)
     I._mem_set(addr, value)
     return value
@@ -256,6 +262,9 @@ def invoke(I, cf, args):
                 if tracer is not None:
                     tracer.register(spec[3], addr, spec[2], "local",
                                     cf.name)
+                if I._race is not None:
+                    I._race.register(spec[3], addr, spec[2], "local",
+                                     cf.name)
                 mem_set(addr, spec[1](value))
         try:
             body(I, F)
@@ -775,6 +784,9 @@ def _make_decl_plain(slot, name, size):
         if I.tracer is not None:
             I.tracer.register(name, addr, size, "local",
                               I.current_function)
+        if I._race is not None:
+            I._race.register(name, addr, size, "local",
+                             I.current_function)
     return run
 
 
@@ -785,6 +797,9 @@ def _make_decl_scalar(slot, name, size, init_c, co, site):
         if I.tracer is not None:
             I.tracer.register(name, addr, size, "local",
                               I.current_function)
+        if I._race is not None:
+            I._race.register(name, addr, size, "local",
+                             I.current_function)
         _st(I, addr, init_c(I, F), site, co)
     return run
 
@@ -799,6 +814,9 @@ def _make_decl_array(slot, name, size, init_cs, length, stride, dv, co,
         if I.tracer is not None:
             I.tracer.register(name, addr, size, "local",
                               I.current_function)
+        if I._race is not None:
+            I._race.register(name, addr, size, "local",
+                             I.current_function)
         values = [c(I, F) for c in init_cs]
         for k in range(length):
             _st(I, addr + k * stride, values[k] if k < n else dv,
@@ -871,6 +889,8 @@ def _make_id_load_local(slot, name, flt, site):
             I.cycles += e[2](addr, "read", I.cycles)
             if I.tracer is not None:
                 I.tracer.record(I, addr, "read")
+            if I._race is not None:
+                I._race.record(I, addr, "read")
             v = I._mem_get(addr, 0)
             if isinstance(v, int):
                 return float(v)
@@ -893,6 +913,8 @@ def _make_id_load_local(slot, name, flt, site):
         I.cycles += e[2](addr, "read", I.cycles)
         if I.tracer is not None:
             I.tracer.record(I, addr, "read")
+        if I._race is not None:
+            I._race.record(I, addr, "read")
         return I._mem_get(addr, 0)
     return run
 
@@ -913,6 +935,8 @@ def _make_id_load_global(name, flt, site):
             I.cycles += e[2](addr, "read", I.cycles)
             if I.tracer is not None:
                 I.tracer.record(I, addr, "read")
+            if I._race is not None:
+                I._race.record(I, addr, "read")
             v = I._mem_get(addr, 0)
             if isinstance(v, int):
                 return float(v)
@@ -933,6 +957,8 @@ def _make_id_load_global(name, flt, site):
         I.cycles += e[2](addr, "read", I.cycles)
         if I.tracer is not None:
             I.tracer.record(I, addr, "read")
+        if I._race is not None:
+            I._race.record(I, addr, "read")
         return I._mem_get(addr, 0)
     return run
 
@@ -1439,6 +1465,8 @@ def _make_assign_static(lv, rhs_c, co, site):
         I.cycles += e[2](addr, "write", I.cycles)
         if I.tracer is not None:
             I.tracer.record(I, addr, "write")
+        if I._race is not None:
+            I._race.record(I, addr, "write")
         v = co(v)
         I._mem_set(addr, v)
         return v

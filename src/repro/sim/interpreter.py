@@ -117,6 +117,10 @@ class Interpreter:
         # can actually be flipped, so it rides the fault gate
         self._ecc = getattr(chip, "ecc", None) \
             if self._faults is not None else None
+        # race detection (repro.race): the chip-attached detector, or
+        # None — in which case every hook is a dead branch and cycles,
+        # output, and traces are byte-identical to an unaudited run
+        self._race = getattr(chip, "race", None)
 
         stack_segment = chip.address_space.alloc_private(
             core_id, STACK_BYTES, "stack-core%d" % core_id)
@@ -172,6 +176,9 @@ class Interpreter:
             if self.tracer is not None:
                 self.tracer.register(decl.name, segment.base, size,
                                      "global")
+            if self._race is not None:
+                self._race.register(decl.name, segment.base, size,
+                                    "global")
             self._static_init(segment.base, decl.ctype, decl.init)
 
     def _static_init(self, addr, ctype, init):
@@ -231,6 +238,8 @@ class Interpreter:
                                              4, self.cycles)
         if self.tracer is not None:
             self.tracer.record(self, addr, "read")
+        if self._race is not None:
+            self._race.record(self, addr, "read")
         value = self.memory.load(addr)
         if self._faults is not None:
             raw = value
@@ -248,6 +257,8 @@ class Interpreter:
                                              "write", 4, self.cycles)
         if self.tracer is not None:
             self.tracer.record(self, addr, "write")
+        if self._race is not None:
+            self._race.record(self, addr, "write")
         if ctype is not None:
             value = coerce(ctype, value)
         self.memory.store(addr, value)
@@ -299,6 +310,9 @@ class Interpreter:
         if self.tracer is not None:
             self.tracer.register(name, addr, size, "local",
                                  self.current_function)
+        if self._race is not None:
+            self._race.register(name, addr, size, "local",
+                                self.current_function)
         return addr
 
     def lookup(self, name):

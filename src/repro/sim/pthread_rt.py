@@ -63,9 +63,9 @@ class PthreadRuntime:
             "pthread_self": self._self,
             "pthread_mutex_init": self._mutex_op,
             "pthread_mutex_destroy": self._mutex_op,
-            "pthread_mutex_lock": self._mutex_op,
-            "pthread_mutex_unlock": self._mutex_op,
-            "pthread_mutex_trylock": self._mutex_op,
+            "pthread_mutex_lock": self._mutex_lock,
+            "pthread_mutex_unlock": self._mutex_unlock,
+            "pthread_mutex_trylock": self._mutex_lock,
             "pthread_attr_init": self._noop,
             "pthread_attr_destroy": self._noop,
             "pthread_detach": self._noop,
@@ -95,6 +95,9 @@ class PthreadRuntime:
         if isinstance(tid_target, Pointer) and tid_target.addr:
             interp.store(tid_target.addr, tid)
         interp.charge(THREAD_CREATE_COST)
+        race = interp._race
+        if race is not None:
+            race.thread_create(self._current_tid[-1], tid)
         return 0
 
     @staticmethod
@@ -115,6 +118,9 @@ class PthreadRuntime:
         if record is None:
             return 3  # ESRCH
         self._run_thread(interp, record)
+        race = interp._race
+        if race is not None:
+            race.thread_join(self._current_tid[-1], record.tid)
         return 0
 
     def _run_thread(self, interp, record):
@@ -150,10 +156,42 @@ class PthreadRuntime:
     def _self(self, interp, arg_nodes):
         return self._current_tid[-1]
 
+    def race_thread(self):
+        """The thread id the race detector stamps accesses with."""
+        return self._current_tid[-1]
+
     def _mutex_op(self, interp, arg_nodes):
         for node in arg_nodes:
             interp.eval_expr(node)
         interp.charge(MUTEX_OP_COST)
+        return 0
+
+    @staticmethod
+    def _mutex_key(value):
+        """Mutexes are keyed by the mutex variable's address."""
+        if isinstance(value, Pointer):
+            return ("mutex", value.addr)
+        try:
+            return ("mutex", int(value))
+        except (TypeError, ValueError):
+            return ("mutex", id(value))
+
+    def _mutex_lock(self, interp, arg_nodes):
+        values = [interp.eval_expr(node) for node in arg_nodes]
+        interp.charge(MUTEX_OP_COST)
+        race = interp._race
+        if race is not None and values:
+            race.lock_acquire(self._current_tid[-1],
+                              self._mutex_key(values[0]))
+        return 0
+
+    def _mutex_unlock(self, interp, arg_nodes):
+        values = [interp.eval_expr(node) for node in arg_nodes]
+        interp.charge(MUTEX_OP_COST)
+        race = interp._race
+        if race is not None and values:
+            race.lock_release(self._current_tid[-1],
+                              self._mutex_key(values[0]))
         return 0
 
     def _noop(self, interp, arg_nodes):

@@ -29,6 +29,7 @@ import threading
 from repro.cfront.frontend import parse_program
 from repro.diagnostics import Diagnostic
 from repro.faults import CoreCrashFault, FaultInjector
+from repro.race import RaceDetector
 from repro.rcce.api import RCCEWorld
 from repro.recovery import (
     CheckpointManager,
@@ -86,6 +87,8 @@ class RunResult:
         self.diagnostics = list(diagnostics) if diagnostics else []
         # RecoveryReport when the run went through the supervisor
         self.recovery = None
+        # RaceReport when the run was audited (race=...)
+        self.race = None
 
     @property
     def seconds(self):
@@ -141,6 +144,15 @@ def _as_injector(faults):
     return injector if injector.active else None
 
 
+def _as_detector(race):
+    """Accept a RaceDetector, truthy (build a default one), or None."""
+    if race is None or race is False:
+        return None
+    if isinstance(race, RaceDetector):
+        return race
+    return RaceDetector()
+
+
 def _source_sha(program):
     """Content hash of a source-string program (None for a pre-parsed
     unit) — snapshots record it so a restore from the wrong program is
@@ -191,15 +203,18 @@ def _timeout_from(exc, interpreters, ranks=None):
 
 def run_pthread_single_core(program, config=None, chip=None, core=0,
                             max_steps=200_000_000, engine="compiled",
-                            faults=None):
+                            faults=None, race=None):
     """Run a Pthreads program with all threads on one core."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     injector = _as_injector(faults)
+    detector = _as_detector(race)
     engine, downgrade = _resolve_engine(engine, injector)
     if injector is not None:
         injector.attach(chip)
+    if detector is not None:
+        detector.attach(chip)
     memory = Memory()
     runtime = PthreadRuntime()
     interpreters = []
@@ -221,11 +236,13 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     finally:
         chip.deactivate_core(core)
         metrics = chip.metrics.snapshot()
+        if detector is not None:
+            detector.detach()
         if injector is not None:
             injector.detach()
     overhead = runtime.scheduling_overhead_cycles(config, interp.cycles)
     total = interp.cycles + overhead
-    return RunResult(
+    result = RunResult(
         total, config, interp.output,
         per_core_cycles={core: total},
         exit_value=exit_value,
@@ -237,6 +254,10 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
         },
         metrics=metrics,
         diagnostics=[downgrade] if downgrade is not None else None)
+    if detector is not None:
+        result.race = detector.report()
+        result.diagnostics.extend(result.race.diagnostics())
+    return result
 
 
 class _CoreError:
@@ -259,12 +280,13 @@ class _CoreError:
 
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
              max_steps=200_000_000, engine="compiled", faults=None,
-             watchdog=None, recovery=None):
+             watchdog=None, recovery=None, race=None):
     """Run a translated RCCE program on ``num_ues`` simulated cores."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     injector = _as_injector(faults)
+    detector = _as_detector(race)
     if recovery is not None and not recovery.active:
         recovery = None
     checkpointed = recovery is not None and recovery.checkpointed
@@ -272,6 +294,8 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     diagnostics = [downgrade] if downgrade is not None else []
     if injector is not None:
         injector.attach(chip)
+    if detector is not None:
+        detector.attach(chip)  # before the world: it reads chip.race
     if engine == "compiled":
         # lower the unit once, before any core thread spawns: the
         # compiled-unit cache is shared and this keeps thread startup
@@ -369,6 +393,8 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
             manager.unbind()
         if scrubber is not None:
             scrubber.detach()
+        if detector is not None:
+            detector.detach()
         if injector is not None:
             injector.detach()
     if error.exc is not None:
@@ -384,7 +410,7 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     outputs = []
     for interp in sorted(interpreters, key=lambda i: i.core_id):
         outputs.extend(interp.output)
-    return RunResult(
+    result = RunResult(
         total, config, outputs,
         per_core_cycles=per_core,
         stats={
@@ -397,12 +423,17 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
         },
         metrics=metrics,
         diagnostics=diagnostics)
+    if detector is not None:
+        result.race = detector.report()
+        result.diagnostics.extend(result.race.diagnostics())
+    return result
 
 
 def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                         max_steps=200_000_000, engine="compiled",
                         faults=None, recovery=None, max_restarts=1,
-                        chip_factory=None, watchdog_factory=None):
+                        chip_factory=None, watchdog_factory=None,
+                        race=None):
     """Run an RCCE program under a restarting supervisor.
 
     The run checkpoints at barrier rounds
@@ -438,7 +469,13 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
             result = run_rcce(
                 program, num_ues, config=config, chip=chip,
                 core_map=core_map, max_steps=max_steps, engine=engine,
-                faults=injector, watchdog=watchdog, recovery=options)
+                faults=injector, watchdog=watchdog, recovery=options,
+                # a fresh detector per attempt (race=True builds one
+                # inside run_rcce): epochs must not leak between
+                # attempts, or replayed accesses would look unordered
+                # against the dead run's
+                race=race if not isinstance(race, RaceDetector)
+                else RaceDetector(race.max_findings))
         except RESTARTABLE_ERRORS as exc:
             if attempt >= max_restarts:
                 exc.recovery_report = report

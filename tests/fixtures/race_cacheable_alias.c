@@ -1,0 +1,30 @@
+/* Negative fixture for the HSM coherence auditor: UE 0 publishes a
+ * pointer to one of its *private* (cacheable) globals through shared
+ * memory, and UE 1 dereferences it after a barrier.  The accesses are
+ * happens-before ordered, so this is NOT a data race — but on the real
+ * SCC the line is cacheable and there is no hardware coherence, so
+ * UE 1 can read a stale copy.  The audit must report a coherence
+ * violation on `stash`. */
+#include <stdio.h>
+#include <RCCE.h>
+
+int stash[4];
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    int **window = (int **)RCCE_shmalloc(sizeof(int *) * 1);
+    int me = RCCE_ue();
+    if (me == 0) {
+        stash[0] = 41;
+        window[0] = stash;
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    if (me == 1) {
+        int *alias = window[0];
+        printf("alias=%d\n", alias[0]);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}

@@ -1,0 +1,23 @@
+/* Positive twin of race_unprotected_counter.c: the same shared
+ * counter, but every increment sits in an RCCE test-and-set critical
+ * section.  The audit must come back clean. */
+#include <stdio.h>
+#include <RCCE.h>
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    int *counter = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    int i;
+    for (i = 0; i < 8; i++) {
+        RCCE_acquire_lock(0);
+        counter[0] = counter[0] + 1;
+        RCCE_release_lock(0);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    if (RCCE_ue() == 0) {
+        printf("counter=%d\n", counter[0]);
+    }
+    RCCE_finalize();
+    return 0;
+}

@@ -1,0 +1,23 @@
+/* Negative fixture: every UE bumps a shared off-chip counter with no
+ * lock and no intervening synchronization.  The race detector must
+ * flag the write-write (and read-write) conflicts on `counter`.
+ * The lock-protected twin is race_locked_counter.c. */
+#include <stdio.h>
+#include <RCCE.h>
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    int *counter = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    int i;
+    for (i = 0; i < 8; i++) {
+        counter[0] = counter[0] + 1;
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    if (RCCE_ue() == 0) {
+        /* the printed value is schedule-dependent: do not assert it */
+        printf("counter=%d\n", counter[0]);
+    }
+    RCCE_finalize();
+    return 0;
+}

@@ -1,0 +1,75 @@
+"""Property: lock discipline decides the verdict, not problem size.
+
+For any thread count and iteration count, a mutex-protected shared
+counter audits clean, and stripping the lock/unlock pair — and nothing
+else — flips the verdict to racy.  This pins the detector against both
+false positives (properly synchronized programs) and false negatives
+(the textbook unprotected counter) across schedules and configs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import scaled_config
+from repro.scc.chip import SCCChip
+from repro.sim.runner import run_pthread_single_core
+
+COUNTER_TEMPLATE = """
+#include <pthread.h>
+#include <stdio.h>
+int counter;
+pthread_mutex_t m;
+void *inc(void *a) {
+    int i;
+    for (i = 0; i < %(iters)d; i++) {
+        %(lock)s
+        counter = counter + 1;
+        %(unlock)s
+    }
+    return 0;
+}
+int main(void) {
+    pthread_t th[%(nthreads)d];
+    int i;
+    pthread_mutex_init(&m, 0);
+    for (i = 0; i < %(nthreads)d; i++)
+        pthread_create(&th[i], 0, inc, (void *)i);
+    for (i = 0; i < %(nthreads)d; i++)
+        pthread_join(th[i], 0);
+    printf("%%d", counter);
+    return 0;
+}
+"""
+
+
+def counter_source(nthreads, iters, locked):
+    return COUNTER_TEMPLATE % {
+        "nthreads": nthreads,
+        "iters": iters,
+        "lock": "pthread_mutex_lock(&m);" if locked else "",
+        "unlock": "pthread_mutex_unlock(&m);" if locked else "",
+    }
+
+
+def audit(source):
+    chip = SCCChip(scaled_config())
+    result = run_pthread_single_core(source, chip.config, chip,
+                                     max_steps=50_000_000, race=True)
+    return result
+
+
+@given(nthreads=st.integers(2, 4), iters=st.integers(1, 8))
+@settings(max_examples=12, deadline=None)
+def test_locked_counter_always_clean(nthreads, iters):
+    result = audit(counter_source(nthreads, iters, locked=True))
+    assert result.stdout() == str(nthreads * iters)
+    assert result.race.ok, result.race.render()
+
+
+@given(nthreads=st.integers(2, 4), iters=st.integers(1, 8))
+@settings(max_examples=12, deadline=None)
+def test_unlocked_counter_always_flagged(nthreads, iters):
+    result = audit(counter_source(nthreads, iters, locked=False))
+    report = result.race
+    assert report.has_findings, report.render()
+    assert any("counter" in finding.message() for finding in report)

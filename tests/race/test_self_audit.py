@@ -1,0 +1,85 @@
+"""Pipeline self-audit: the translator's output must be race-free.
+
+The paper's soundness claim is that stage 1-3 sharing analysis plus
+the "shared => uncacheable" placement rule produce RCCE programs with
+no data races and no stale-cacheable reads.  Running every golden
+benchmark under the detector turns that claim into a regression test:
+any future translator change that drops a lock, misplaces a variable,
+or leaves a shared line cacheable fails here.
+"""
+
+import pytest
+
+from repro.bench.harness import SCALED_ON_CHIP_CAPACITY
+from repro.bench.programs import EXAMPLE_4_1, benchmark_source
+from repro.bench.workloads import scaled_config
+from repro.core.framework import TranslationFramework
+from repro.scc.chip import SCCChip
+from repro.sim.runner import run_pthread_single_core, run_rcce
+
+NUM_UES = 4
+
+# differential-suite problem sizes: small enough for test time, large
+# enough that every benchmark's sharing pattern is exercised
+SIZES = {
+    "pi": {"steps": 512},
+    "sum35": {"limit": 512},
+    "primes": {"limit": 256},
+    "stream": {"n": 128},
+    "dot": {"n": 192},
+    "lu": {"batch": 4, "dim": 8},
+}
+
+
+def translate(source, policy="size"):
+    framework = TranslationFramework(
+        on_chip_capacity=SCALED_ON_CHIP_CAPACITY,
+        partition_policy=policy)
+    return framework.translate(source).unit
+
+
+def audit_rcce(unit):
+    chip = SCCChip(scaled_config())
+    result = run_rcce(unit, NUM_UES, chip.config, chip,
+                      max_steps=100_000_000, race=True)
+    return result.race
+
+
+@pytest.mark.parametrize("name", sorted(SIZES))
+def test_translated_benchmark_audits_clean(name):
+    source = benchmark_source(name, NUM_UES, **SIZES[name])
+    report = audit_rcce(translate(source))
+    assert report.ok, report.render()
+    assert report.checks > 0
+    assert report.sync_edges > 0
+
+
+def test_example_4_1_audits_clean():
+    report = audit_rcce(translate(EXAMPLE_4_1))
+    assert report.ok, report.render()
+
+
+def test_off_chip_only_policy_audits_clean():
+    """The all-off-chip placement must be just as coherent."""
+    source = benchmark_source("dot", NUM_UES, **SIZES["dot"])
+    report = audit_rcce(translate(source, policy="off-chip-only"))
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("name", ["pi", "dot"])
+def test_pthread_baseline_audits_clean(name):
+    """The original pthread program, serialized on one core, carries
+    proper create/join and mutex edges."""
+    source = benchmark_source(name, NUM_UES, **SIZES[name])
+    chip = SCCChip(scaled_config())
+    result = run_pthread_single_core(source, chip.config, chip,
+                                     max_steps=100_000_000, race=True)
+    assert result.race.ok, result.race.render()
+    assert result.race.checks > 0
+
+
+def test_example_4_1_pthread_audits_clean():
+    chip = SCCChip(scaled_config())
+    result = run_pthread_single_core(EXAMPLE_4_1, chip.config, chip,
+                                     max_steps=100_000_000, race=True)
+    assert result.race.ok, result.race.render()

@@ -1,0 +1,71 @@
+"""Vector clock / epoch algebra."""
+
+from repro.race.vectorclock import Epoch, VectorClock
+
+
+class TestVectorClock:
+    def test_absent_entries_read_zero(self):
+        assert VectorClock().time_of("t1") == 0
+
+    def test_tick_advances_own_component_only(self):
+        vc = VectorClock()
+        vc.tick("a")
+        vc.tick("a")
+        assert vc.time_of("a") == 2
+        assert vc.time_of("b") == 0
+
+    def test_join_is_pointwise_max(self):
+        left = VectorClock({"a": 3, "b": 1})
+        right = VectorClock({"b": 5, "c": 2})
+        left.join(right)
+        assert left.clocks == {"a": 3, "b": 5, "c": 2}
+
+    def test_join_never_decreases(self):
+        left = VectorClock({"a": 3})
+        left.join(VectorClock({"a": 1}))
+        assert left.time_of("a") == 3
+
+    def test_copy_is_independent(self):
+        vc = VectorClock({"a": 1})
+        clone = vc.copy()
+        clone.tick("a")
+        assert vc.time_of("a") == 1
+        assert clone.time_of("a") == 2
+
+    def test_covers(self):
+        vc = VectorClock({"a": 3})
+        assert vc.covers(Epoch("a", 3))
+        assert vc.covers(Epoch("a", 2))
+        assert not vc.covers(Epoch("a", 4))
+        assert not vc.covers(Epoch("b", 1))
+
+
+class TestEpoch:
+    def test_happens_before_mirrors_covers(self):
+        vc = VectorClock({"a": 2})
+        assert Epoch("a", 2).happens_before(vc)
+        assert not Epoch("a", 3).happens_before(vc)
+
+    def test_equality_and_hash(self):
+        assert Epoch("a", 1) == Epoch("a", 1)
+        assert Epoch("a", 1) != Epoch("a", 2)
+        assert Epoch("a", 1) != Epoch("b", 1)
+        assert len({Epoch("a", 1), Epoch("a", 1)}) == 1
+
+    def test_repr_is_tid_at_clock(self):
+        assert repr(Epoch(3, 7)) == "3@7"
+
+
+def test_fork_join_ordering():
+    """The create/join edge pattern the detector uses for pthreads."""
+    parent = VectorClock()
+    parent.tick("main")
+    child = parent.copy()
+    child.tick("t1")
+    parent.tick("main")
+    # child saw everything the parent did before the fork ...
+    assert child.covers(Epoch("main", 1))
+    # ... but not what the parent does afterwards
+    assert not child.covers(Epoch("main", 2))
+    parent.join(child)
+    assert parent.covers(Epoch("t1", 1))

@@ -367,3 +367,51 @@ def test_access_fastpath_matches_access_cost():
             assert (getattr(fast_chip.cores[0].l1.stats, attribute)
                     == getattr(slow_chip.cores[0].l1.stats, attribute))
         assert fast_chip.cores[0].accesses == slow_chip.cores[0].accesses
+
+
+# -- race detector: byte-identical timing, enabled or not ----------------------
+
+
+def _pthread_signature(source, engine, race):
+    result = run_pthread_single_core(source, chip=_tiny_chip(),
+                                     max_steps=50_000_000,
+                                     engine=engine, race=race)
+    if race:
+        assert result.race.ok, result.race.render()
+    return (result.cycles, dict(result.per_core_cycles),
+            result.stdout())
+
+
+def _rcce_signature(unit, engine, race):
+    chip = _tiny_chip()
+    result = run_rcce(unit, 4, chip.config, chip,
+                      max_steps=50_000_000, engine=engine, race=race)
+    if race:
+        assert result.race.ok, result.race.render()
+    return (result.cycles, dict(result.per_core_cycles),
+            result.stdout())
+
+
+@pytest.mark.parametrize("engine", ["tree", "compiled"])
+def test_race_detector_is_cycle_invisible_pthread(engine):
+    """Auditing a race-free pthread program must not move a single
+    cycle or output byte — the detector observes, never charges."""
+    from repro.bench.programs import benchmark_source
+    source = benchmark_source("pi", 4, steps=256)
+    off = _pthread_signature(source, engine, race=False)
+    on = _pthread_signature(source, engine, race=True)
+    assert on == off
+
+
+@pytest.mark.parametrize("engine", ["tree", "compiled"])
+def test_race_detector_is_cycle_invisible_rcce(engine):
+    from repro.bench.harness import SCALED_ON_CHIP_CAPACITY
+    from repro.bench.programs import benchmark_source
+    framework = TranslationFramework(
+        on_chip_capacity=SCALED_ON_CHIP_CAPACITY,
+        partition_policy="size")
+    unit = framework.translate(
+        benchmark_source("dot", 4, n=64)).unit
+    off = _rcce_signature(unit, engine, race=False)
+    on = _rcce_signature(unit, engine, race=True)
+    assert on == off

@@ -336,3 +336,67 @@ class TestRecoveryFlags:
              "--engine", "tree",
              "--restore", str(tmp_path / "absent.ckpt")])
         assert code == 66
+
+FIXTURES = __import__("os").path.join(
+    __import__("os").path.dirname(__file__), "fixtures")
+
+
+class TestRaceFlags:
+    def test_clean_compare_run(self, example_file):
+        code, output, err = run_cli_err(
+            ["run", example_file, "--ues", "2", "--race"])
+        assert code == 0
+        # one audit line per mode (pthread baseline + rcce run)
+        assert output.count("race audit: clean") == 2
+        assert "data race" not in err
+
+    def test_racy_fixture_warns_but_exits_0_without_strict(self):
+        fixture = FIXTURES + "/race_unprotected_counter.c"
+        code, output, err = run_cli_err(
+            ["run", fixture, "--mode", "rcce", "--ues", "2",
+             "--race"])
+        assert code == 0
+        assert "race audit: 2 race(s)" in output
+        assert "data race" in err
+        assert "core 0" in err and "core 1" in err
+
+    def test_racy_fixture_exits_70_under_strict(self):
+        fixture = FIXTURES + "/race_unprotected_counter.c"
+        code, _, err = run_cli_err(
+            ["run", fixture, "--mode", "rcce", "--ues", "2",
+             "--race", "--strict"])
+        assert code == 70
+        assert "data race" in err
+
+    def test_coherence_fixture_exits_70_under_strict(self):
+        fixture = FIXTURES + "/race_cacheable_alias.c"
+        code, _, err = run_cli_err(
+            ["run", fixture, "--mode", "rcce", "--ues", "2",
+             "--race", "--strict"])
+        assert code == 70
+        assert "stale cacheable" in err
+        assert "stash" in err
+
+    def test_locked_fixture_clean_under_strict(self):
+        fixture = FIXTURES + "/race_locked_counter.c"
+        code, output, _ = run_cli_err(
+            ["run", fixture, "--mode", "rcce", "--ues", "2",
+             "--race", "--strict"])
+        assert code == 0
+        assert "race audit: clean" in output
+
+    def test_race_report_file(self, tmp_path):
+        import json
+        fixture = FIXTURES + "/race_unprotected_counter.c"
+        report_path = str(tmp_path / "race.json")
+        code, output, _ = run_cli_err(
+            ["run", fixture, "--mode", "rcce", "--ues", "2",
+             "--race-report", report_path])
+        assert code == 0
+        assert "race report written to" in output
+        with open(report_path) as handle:
+            payload = json.load(handle)
+        findings = payload["rcce"]["findings"]
+        assert findings
+        assert findings[0]["category"] == "race"
+        assert findings[0]["current"]["epoch"]
