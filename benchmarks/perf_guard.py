@@ -1,0 +1,138 @@
+"""Perf-regression guard over the committed benchmark reports.
+
+Re-runs the workloads behind the committed ``BENCH_interp.json``,
+``BENCH_race.json``, and ``BENCH_attr.json`` and fails when any of
+them regresses by more than 15% against its committed number.  Raw
+wall seconds are not portable across machines, so each guard compares
+the machine-relative quantity its report pins:
+
+* ``BENCH_race.json`` — the disabled-mode hook ratio (hooked/plain
+  load-store wall time).  Guard: current ratio <= committed x 1.15.
+* ``BENCH_attr.json`` — the enabled-mode attribution ratio.  Guard:
+  current ratio <= committed x 1.15.
+* ``BENCH_interp.json`` — compiled-vs-tree speedup.  The committed
+  report is full scale (six benchmarks, 32 UEs); the guard re-runs
+  the smoke subset and compares against the committed geomean over
+  that same subset.  Guard: current speedup >= committed / 1.15,
+  cycles identical between engines.
+
+Usage::
+
+    pytest benchmarks/perf_guard.py            # the CI guard job
+    PYTHONPATH=src python benchmarks/perf_guard.py
+"""
+
+import json
+import math
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (os.path.join(ROOT, "src"), os.path.dirname(os.path.abspath(__file__))):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import bench_attr_overhead  # noqa: E402
+import bench_interp_speed  # noqa: E402
+import bench_race_overhead  # noqa: E402
+
+SLACK = 1.15  # fail on >15% slowdown against the committed number
+SMOKE_UES = 8
+
+
+def _committed(name):
+    with open(os.path.join(ROOT, name)) as handle:
+        return json.load(handle)
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _committed_smoke_speedup(report):
+    """Committed geomean over the smoke subset's workload rows."""
+    speedups = [row["speedup"]
+                for key, row in report["workloads"].items()
+                if key.split("/")[0] in bench_interp_speed.SMOKE_BENCHMARKS]
+    return _geomean(speedups)
+
+
+def guard_race():
+    committed = _committed("BENCH_race.json")
+    # the race bench times ~2000 accesses (sub-millisecond), so any
+    # single measure() can catch a load spike; noise on this clock is
+    # strictly additive, so the best of a few full measurements is
+    # the faithful estimate
+    ratio = min(bench_race_overhead.measure()["ratio"]
+                for _ in range(3))
+    bound = committed["ratio"] * SLACK
+    ok = ratio <= bound
+    return ok, ("race disabled-mode ratio %.3f (committed %.3f, "
+                "bound %.3f)" % (ratio, committed["ratio"], bound))
+
+
+def guard_attr():
+    committed = _committed("BENCH_attr.json")
+    current = bench_attr_overhead.measure()
+    bound = committed["ratio"] * SLACK
+    ok = current["ratio"] <= bound
+    return ok, ("attr enabled-mode ratio %.3f (committed %.3f, "
+                "bound %.3f)" % (current["ratio"], committed["ratio"],
+                                 bound))
+
+
+def guard_interp():
+    committed = _committed_smoke_speedup(_committed("BENCH_interp.json"))
+    # a genuine engine regression lowers *every* measurement, while
+    # host load only smears individual ones — so the best of two full
+    # measures is the guard's estimate
+    runs = [bench_interp_speed.measure(
+                bench_interp_speed.SMOKE_BENCHMARKS, num_ues=SMOKE_UES)
+            for _ in range(2)]
+    speedup = max(run["overall_speedup"] for run in runs)
+    identical = all(run["cycles_identical"] for run in runs)
+    floor = committed / SLACK
+    ok = identical and speedup >= floor
+    return ok, ("interp smoke speedup %.2fx (committed subset "
+                "geomean %.2fx, floor %.2fx, cycles_identical=%s)"
+                % (speedup, committed, floor, identical))
+
+
+# -- pytest entry ---------------------------------------------------------------
+
+
+def test_race_overhead_has_not_regressed(results_dir):
+    from conftest import write_result
+    ok, message = guard_race()
+    write_result(results_dir, "perf_guard_race.txt", message)
+    assert ok, message
+
+
+def test_attr_overhead_has_not_regressed(results_dir):
+    from conftest import write_result
+    ok, message = guard_attr()
+    write_result(results_dir, "perf_guard_attr.txt", message)
+    assert ok, message
+
+
+def test_interp_speedup_has_not_regressed(results_dir):
+    from conftest import write_result
+    ok, message = guard_interp()
+    write_result(results_dir, "perf_guard_interp.txt", message)
+    assert ok, message
+
+
+# -- script entry ----------------------------------------------------------------
+
+
+def main(argv=None):
+    failures = 0
+    for guard in (guard_race, guard_attr, guard_interp):
+        ok, message = guard()
+        print(("PASS: " if ok else "FAIL: ") + message)
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,8 +66,31 @@ def build_parser():
     _framework_args(translate)
 
     analyze = sub.add_parser("analyze",
-                             help="print the analysis tables")
+                             help="print the analysis tables, or — "
+                             "with --bottlenecks — run the program "
+                             "under cycle attribution and report "
+                             "where the time goes")
     analyze.add_argument("source", help="input C file ('-' for stdin)")
+    analyze.add_argument("--bottlenecks", action="store_true",
+                         help="simulate the RCCE program with "
+                         "per-cycle attribution and critical-path "
+                         "analysis; print the breakdown, the path, "
+                         "and mesh/MPB utilization heatmaps")
+    analyze.add_argument("--ues", type=int, default=8,
+                         help="RCCE cores for --bottlenecks "
+                         "(default 8)")
+    analyze.add_argument("--engine", choices=["compiled", "tree"],
+                         default="compiled",
+                         help="interpreter engine for --bottlenecks")
+    analyze.add_argument("--json", default=None, metavar="FILE",
+                         help="write the attribution + critical-path "
+                         "report as JSON (--bottlenecks only)")
+    analyze.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a Chrome trace annotated with "
+                         "attribution counters and the critical path "
+                         "(--bottlenecks only)")
+    analyze.add_argument("--max-steps", type=int, default=200_000_000,
+                         help="per-core step budget for --bottlenecks")
     _framework_args(analyze)
 
     run = sub.add_parser("run", help="simulate on the SCC model")
@@ -209,6 +232,8 @@ def cmd_translate(args, out, err):
 
 
 def cmd_analyze(args, out, err):
+    if getattr(args, "bottlenecks", False):
+        return _analyze_bottlenecks(args, out, err)
     source = _read_source(args.source)
     framework = _framework(args)
     result = framework.partition(source)
@@ -229,6 +254,68 @@ def cmd_analyze(args, out, err):
         out.write("  %-12s %6d B  -> %s\n"
                   % (placement.info.name, placement.info.mem_size,
                      placement.bank))
+    return EXIT_OK
+
+
+def _analyze_bottlenecks(args, out, err):
+    """``repro analyze --bottlenecks``: run the RCCE program with full
+    cycle attribution, then report the breakdown, the critical path,
+    and the mesh/MPB utilization heatmaps."""
+    import json
+
+    from repro.obs.attribution import (
+        AttributionEngine,
+        annotate_chrome_trace,
+    )
+    from repro.scc.chip import SCCChip
+    from repro.scc.config import Table61Config
+    from repro.scc.report import chip_report, render_report
+
+    source = _read_source(args.source)
+    translated = None
+    if "RCCE_APP" in source:
+        from repro.cfront.frontend import parse_program
+        unit = parse_program(source)
+    else:
+        framework = _framework(args)
+        translated = framework.translate(source)
+        if _report_diagnostics(translated, err):
+            return EXIT_PARSE
+        unit = translated.unit
+    chip = SCCChip(Table61Config())
+    # heatmap inputs are opt-in recordings (each costs a lock or a
+    # dict bump on the hot path), so only this command enables them
+    chip.mesh.enable_traffic_recording()
+    chip.mpb.enable_owner_tracking()
+    tracer = None
+    if getattr(args, "trace", None):
+        tracer = EventTracer()
+        chip.attach_events(tracer, pid=0,
+                           name="rcce x%d cores" % args.ues)
+    engine = AttributionEngine()
+    result = run_rcce(unit, args.ues, chip.config, chip,
+                      max_steps=args.max_steps, engine=args.engine,
+                      attribution=engine)
+    for diagnostic in result.diagnostics:
+        err.write(diagnostic.format() + "\n")
+    report = result.attribution
+    if translated is not None:
+        # surface the profile on the pipeline result too
+        translated.context.facts["attribution"] = report
+    out.write(report.render() + "\n\n")
+    out.write(report.critical_path.render() + "\n\n")
+    out.write(render_report(chip_report(chip)) + "\n")
+    if getattr(args, "json", None):
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        out.write("attribution report written to %s\n" % args.json)
+    if tracer is not None:
+        emitted = annotate_chrome_trace(tracer, engine, report)
+        write_chrome_trace(tracer, args.trace, chip.config)
+        out.write("annotated trace written to %s (%d events, "
+                  "%d annotations)\n"
+                  % (args.trace, len(tracer), emitted))
     return EXIT_OK
 
 

@@ -72,6 +72,13 @@ class FrameworkResult:
         return self.context.facts.get("partition_plan")
 
     @property
+    def attribution(self):
+        """The translated program's :class:`~repro.obs.attribution.
+        AttributionReport` once a profiled simulation stored one (the
+        ``repro analyze --bottlenecks`` flow); None otherwise."""
+        return self.context.facts.get("attribution")
+
+    @property
     def rcce_source(self):
         return codegen.generate(self.unit)
 

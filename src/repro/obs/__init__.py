@@ -14,10 +14,23 @@ caller opts in:
 * :class:`EventTracer` (``repro.obs.tracer``) — a ring buffer of
   timestamped simulator events with a Chrome trace-event exporter
   (loadable in ``chrome://tracing`` / Perfetto, one track per core).
+* :class:`AttributionEngine` (``repro.obs.attribution``) — exhaustive
+  per-core cycle accounting (every charged cycle lands in exactly one
+  class) feeding the critical-path analyzer in
+  ``repro.obs.critpath`` and the ``repro analyze`` bottleneck report.
 
 ``repro.obs.export`` writes the machine-readable files the CLI's
 ``--trace`` / ``--metrics`` flags produce.
 """
+
+from repro.obs.attribution import (
+    AttributionEngine,
+    AttributionReport,
+    CLASSES,
+    ConservationError,
+    annotate_chrome_trace,
+)
+from repro.obs.critpath import CriticalPathReport, analyze_critical_path
 
 from repro.obs.metrics import (
     Counter,
@@ -38,6 +51,13 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "AttributionEngine",
+    "AttributionReport",
+    "CLASSES",
+    "ConservationError",
+    "CriticalPathReport",
+    "analyze_critical_path",
+    "annotate_chrome_trace",
     "Counter",
     "Family",
     "Gauge",

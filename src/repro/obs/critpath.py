@@ -1,0 +1,310 @@
+"""Critical-path analysis over recorded synchronization edges.
+
+The attribution engine records, per UE rank, every clock-aligning
+synchronization event the RCCE runtime performs — barrier entries,
+send/recv rendezvous, flag spin-waits and flag writes — which are
+exactly the vector-clock edges the race detector emits for the same
+primitives.  Walking those edges *backward* from the rank that
+finishes last yields the program's critical path: a contiguous chain
+of execution segments covering ``[0, makespan]`` where every hop is
+the synchronization edge that made the downstream core wait.
+
+By construction the path's segment lengths sum to the measured
+makespan (``test_critical_path_length_equals_makespan`` pins this),
+and each barrier hop carries the per-rank slack — how many cycles
+every other rank sat waiting for the round's blocker.
+
+Single-core pthread runs have no cross-core edges; their critical path
+is the trivial single segment on the one core.
+"""
+
+from bisect import bisect_right
+
+# blocking event kinds considered when walking a rank's timeline
+# backward; "flagw" events only feed the flag-writer index
+_BLOCKING = ("barrier", "send", "recv", "wait")
+
+
+class CriticalPathReport:
+    """The critical path, its sync hops, and per-phase bottlenecks."""
+
+    def __init__(self, makespan, segments, hops, phases,
+                 complete=True):
+        self.makespan = makespan
+        self.segments = segments  # [{rank, core, start, end, kind}]
+        self.hops = hops          # [{kind, at, from_rank, to_rank, ...}]
+        self.phases = phases      # [{round, start, end, blocker_*, ...}]
+        self.complete = complete
+
+    @property
+    def path_length(self):
+        return sum(seg["end"] - seg["start"] for seg in self.segments)
+
+    def bottleneck(self):
+        """The (rank, core) whose execution dominates the path."""
+        weight = {}
+        for seg in self.segments:
+            if seg["kind"] == "run":
+                key = (seg["rank"], seg["core"])
+                weight[key] = weight.get(key, 0) \
+                    + seg["end"] - seg["start"]
+        if not weight:
+            return None
+        return max(sorted(weight), key=lambda key: weight[key])
+
+    def as_dict(self):
+        return {
+            "makespan": self.makespan,
+            "path_length": self.path_length,
+            "complete": self.complete,
+            "bottleneck": self.bottleneck(),
+            "segments": list(self.segments),
+            "hops": list(self.hops),
+            "phases": list(self.phases),
+        }
+
+    def render(self, max_segments=24, max_phases=16):
+        lines = ["critical path: %d cycles over %d segments, %d sync "
+                 "hops" % (self.path_length, len(self.segments),
+                           len(self.hops))]
+        bottleneck = self.bottleneck()
+        if bottleneck is not None:
+            lines.append("  bottleneck: rank %s (core %s)"
+                         % (bottleneck[0], bottleneck[1]))
+        shown = self.segments[:max_segments]
+        for seg in shown:
+            lines.append("  [%12d .. %12d] rank %-3s core %-3s %s"
+                         % (seg["start"], seg["end"], seg["rank"],
+                            seg["core"], seg["kind"]))
+        if len(self.segments) > len(shown):
+            lines.append("  ... %d more segments"
+                         % (len(self.segments) - len(shown)))
+        if self.phases:
+            lines.append("phases (barrier rounds):")
+            ranked = sorted(self.phases,
+                            key=lambda ph: ph["end"] - ph["start"],
+                            reverse=True)[:max_phases]
+            for phase in sorted(ranked, key=lambda ph: ph["round"]):
+                lines.append(
+                    "  round %3d [%d .. %d]: blocker rank %s "
+                    "(core %s), dominant %s, max slack %d"
+                    % (phase["round"], phase["start"], phase["end"],
+                       phase["blocker_rank"], phase["blocker_core"],
+                       phase["dominant"], phase["slack_max"]))
+            if len(self.phases) > len(ranked):
+                lines.append("  ... %d more phases (see JSON output)"
+                             % (len(self.phases) - len(ranked)))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return ("CriticalPathReport(makespan=%d, segments=%d, "
+                "hops=%d, phases=%d)"
+                % (self.makespan, len(self.segments), len(self.hops),
+                   len(self.phases)))
+
+
+def _segment(rank, core, start, end, kind):
+    return {"rank": rank, "core": core, "start": start, "end": end,
+            "kind": kind}
+
+
+def _phase_dominant(current, previous, interval):
+    """Dominant cycle class of one phase on the blocker core, from
+    the barrier-entry snapshot delta.  ``barrier_wait`` is excluded
+    (it accrued before the phase started) and the unattributed
+    remainder competes as ``compute``."""
+    deltas = {}
+    for cls, cycles in current.items():
+        if cls.startswith("_") or cls == "barrier_wait":
+            continue
+        delta = cycles - previous.get(cls, 0)
+        if delta > 0:
+            deltas[cls] = delta
+    attributed = sum(deltas.values())
+    compute = interval - attributed
+    if compute > deltas.get("compute", 0):
+        deltas["compute"] = compute
+    if not deltas:
+        return "compute"
+    return max(sorted(deltas), key=lambda cls: deltas[cls])
+
+
+def analyze_critical_path(events_by_rank, per_core_cycles,
+                          core_of=None):
+    """Compute the critical path for a finished run.
+
+    ``events_by_rank`` is the attribution engine's recorded sync-event
+    map; ``per_core_cycles`` the final per-core cycle totals;
+    ``core_of`` the rank -> core placement (``None`` for single-core
+    runs).  Returns a :class:`CriticalPathReport` or ``None`` when
+    there is nothing to analyze.
+    """
+    if not per_core_cycles:
+        return None
+    makespan = max(per_core_cycles.values())
+    have_events = core_of is not None and any(
+        events_by_rank.get(rank) for rank in range(len(core_of)))
+    if not have_events:
+        core = min(core for core, cycles in per_core_cycles.items()
+                   if cycles == makespan)
+        segments = [_segment(0, core, 0, makespan, "run")]
+        return CriticalPathReport(makespan, segments, [], [])
+
+    num_ues = len(core_of)
+    ranks = list(range(num_ues))
+
+    # -- index the event streams ------------------------------------------
+    blocking = {}    # rank -> [(end_clock, enriched event)]
+    ends = {}        # rank -> [end_clock] (bisect key)
+    barriers = {}    # rank -> [(entry, aligned, snapshot)]
+    flag_writes = {} # flag -> {clock: rank}
+    for rank in ranks:
+        events = events_by_rank.get(rank, ())
+        rows = []
+        rounds = []
+        for event in events:
+            kind = event[0]
+            if kind == "barrier":
+                _, entry, aligned, snapshot = event
+                rows.append((aligned, ("barrier", len(rounds), entry,
+                                       aligned)))
+                rounds.append((entry, aligned, snapshot))
+            elif kind == "send":
+                _, peer, entry, posted, done = event
+                rows.append((done, ("send", peer, entry, posted,
+                                    done)))
+            elif kind == "recv":
+                _, peer, entry, avail, done = event
+                rows.append((done, ("recv", peer, entry, avail,
+                                    done)))
+            elif kind == "wait":
+                _, flag_id, entry, done = event
+                rows.append((done, ("wait", flag_id, entry, done)))
+            elif kind == "flagw":
+                _, flag_id, clock = event
+                flag_writes.setdefault(flag_id, {})[clock] = rank
+        blocking[rank] = rows
+        ends[rank] = [row[0] for row in rows]
+        barriers[rank] = rounds
+
+    # -- barrier phases ----------------------------------------------------
+    num_rounds = min(len(barriers[rank]) for rank in ranks)
+    phases = []
+    round_info = []  # (entries {rank: entry}, aligned, max_entry)
+    for k in range(num_rounds):
+        entries = {rank: barriers[rank][k][0] for rank in ranks}
+        aligned = max(barriers[rank][k][1] for rank in ranks)
+        max_entry = max(entries.values())
+        round_info.append((entries, aligned, max_entry))
+        blocker = min(rank for rank in ranks
+                      if entries[rank] == max_entry)
+        start = round_info[k - 1][1] if k else 0
+        slacks = [max_entry - entry for entry in entries.values()]
+        snapshot = barriers[blocker][k][2]
+        previous = barriers[blocker][k - 1][2] if k else {}
+        interval = entries[blocker] - start
+        phases.append({
+            "round": k,
+            "start": start,
+            "end": aligned,
+            "blocker_rank": blocker,
+            "blocker_core": core_of[blocker],
+            "dominant": _phase_dominant(snapshot, previous,
+                                        max(interval, 0)),
+            "slack_max": max(slacks),
+            "slack_total": sum(slacks),
+            "slack": {str(rank): max_entry - entry
+                      for rank, entry in entries.items()},
+        })
+
+    # -- backward walk -----------------------------------------------------
+    final = {rank: per_core_cycles.get(core_of[rank], 0)
+             for rank in ranks}
+    rank = min(r for r in ranks
+               if final[r] == max(final.values()))
+    t = makespan
+    segments = []
+    hops = []
+    guard = 4 * sum(len(rows) for rows in blocking.values()) + 64
+    while t > 0 and guard > 0:
+        guard -= 1
+        rows = blocking[rank]
+        idx = bisect_right(ends[rank], t) - 1
+        if idx < 0:
+            segments.append(_segment(rank, core_of[rank], 0, t,
+                                     "run"))
+            t = 0
+            break
+        end, event = rows[idx]
+        if end < t:
+            segments.append(_segment(rank, core_of[rank], end, t,
+                                     "run"))
+            t = end
+        kind = event[0]
+        if kind == "barrier":
+            _, k, entry, aligned = event
+            if k >= num_rounds:
+                t = entry
+                continue
+            entries, _, max_entry = round_info[k]
+            blocker = min(r for r in ranks
+                          if entries[r] == max_entry)
+            if aligned > max_entry:
+                segments.append(_segment(rank, core_of[rank],
+                                         max_entry, aligned,
+                                         "barrier"))
+            hops.append({"kind": "barrier", "round": k, "at": aligned,
+                         "from_rank": rank, "to_rank": blocker,
+                         "slack_max": max_entry
+                         - min(entries.values())})
+            rank = blocker
+            t = max_entry
+        elif kind == "recv":
+            _, peer, entry, avail, done = event
+            if done > avail:
+                segments.append(_segment(rank, core_of[rank], avail,
+                                         done, "transfer"))
+            if avail > entry and peer in blocking:
+                hops.append({"kind": "recv", "at": avail,
+                             "from_rank": rank, "to_rank": peer,
+                             "wait": avail - entry})
+                rank = peer
+                t = avail
+            else:
+                t = entry
+        elif kind == "send":
+            _, peer, entry, posted, done = event
+            if done > posted and peer in blocking:
+                hops.append({"kind": "send", "at": done,
+                             "from_rank": rank, "to_rank": peer,
+                             "wait": done - posted})
+                rank = peer
+                # the peer's matching recv completes at this clock
+            else:
+                t = entry
+        elif kind == "wait":
+            _, flag_id, entry, done = event
+            writer = flag_writes.get(flag_id, {}).get(done)
+            if done > entry and writer is not None \
+                    and writer != rank:
+                hops.append({"kind": "flag", "flag": flag_id,
+                             "at": done, "from_rank": rank,
+                             "to_rank": writer,
+                             "wait": done - entry})
+                rank = writer
+            else:
+                t = entry
+
+    segments.reverse()
+    complete = guard > 0 and _contiguous(segments, makespan)
+    return CriticalPathReport(makespan, segments, hops, phases,
+                              complete=complete)
+
+
+def _contiguous(segments, makespan):
+    clock = 0
+    for seg in segments:
+        if seg["start"] != clock or seg["end"] < seg["start"]:
+            return False
+        clock = seg["end"]
+    return clock == makespan

@@ -93,6 +93,12 @@ class RCCEWorld:
         self.race = getattr(chip, "race", None)
         self.barrier.race = self.race
         self.registers.race = self.race
+        # cycle attribution (repro.obs.attribution), installed the
+        # same way; the runtime classifies every cycle it charges and
+        # feeds the critical-path analyzer its sync events
+        self.attribution = getattr(chip, "attribution", None)
+        if self.attribution is not None:
+            self.attribution.bind_ranks(self.core_map)
         self.shared_heap = _SymmetricHeap(
             chip.address_space.alloc_shared, "shmalloc")
         self.mpb_heap = _SymmetricHeap(
@@ -203,6 +209,7 @@ class RCCECoreRuntime:
         self.rank = rank
         self.core_id = world.core_map[rank]
         self.race = world.race
+        self.attr = world.attribution
         self._collective_round = 0
         # mesh topology and the rank->core map are fixed for the
         # world's lifetime, so hop counts to each peer are memoized
@@ -271,8 +278,18 @@ class RCCECoreRuntime:
         """Align clocks at the barrier, tracing entry/exit as one
         span per core."""
         entry = interp.cycles
+        attr = self.attr
+        # snapshot before the wait so phase deltas see only the
+        # phase's own work
+        snapshot = attr.core_snapshot(self.core_id) \
+            if attr is not None else None
         interp.cycles = self.world.barrier.wait(self.rank, entry)
         self.world.barrier_wait.observe(interp.cycles - entry)
+        if attr is not None:
+            attr.add(self.core_id, "barrier_wait",
+                     interp.cycles - entry)
+            attr.barrier_event(self.rank, entry, interp.cycles,
+                               snapshot)
         events = self.world.chip.events
         if events.enabled:
             events.complete(self.core_id, entry, interp.cycles - entry,
@@ -355,7 +372,10 @@ class RCCECoreRuntime:
         args = self._eval(interp, arg_nodes)
         register = int(args[0]) if args else 0
         owner = register % self.world.chip.config.num_cores
-        interp.charge(self.world.chip.lock_cost(self.core_id, owner))
+        cost = self.world.chip.lock_cost(self.core_id, owner)
+        interp.charge(cost)
+        if self.attr is not None:
+            self.attr.add(self.core_id, "lock_spin", cost)
         contended = self.world.registers.contended(register)
         if contended:
             self.world.lock_contentions += 1
@@ -373,7 +393,10 @@ class RCCECoreRuntime:
         args = self._eval(interp, arg_nodes)
         register = int(args[0]) if args else 0
         owner = register % self.world.chip.config.num_cores
-        interp.charge(self.world.chip.lock_cost(self.core_id, owner))
+        cost = self.world.chip.lock_cost(self.core_id, owner)
+        interp.charge(cost)
+        if self.attr is not None:
+            self.attr.add(self.core_id, "lock_spin", cost)
         self.world.registers.release(register, self.rank)
         return 0
 
@@ -400,11 +423,15 @@ class RCCECoreRuntime:
         try:
             offset = self.world.chip.address_space.mpb_offset(
                 mpb_side.addr)
+            # bulk_transfer_cycles attributes its own mpb/mesh split
             interp.charge(self.world.chip.mpb.bulk_transfer_cycles(
                 self.core_id, offset, nbytes))
         except ValueError:
             # not actually an MPB address; price as word accesses
-            interp.charge(max(nbytes // 4, 1))
+            words = max(nbytes // 4, 1)
+            interp.charge(words)
+            if self.attr is not None:
+                self.attr.add(self.core_id, "block_copy", words)
         stride = max(dst.stride, 1)
         count = max(nbytes // stride, 1)
         interp.memory.memcpy(dst.addr, src.addr, count, stride)
@@ -439,8 +466,10 @@ class RCCECoreRuntime:
         return interp.memory.snapshot_range(pointer.addr, count, stride), \
             count, stride
 
-    def _transfer_cost(self, peer_rank, nbytes):
-        """One message = a bulk copy staged through the peer's MPB."""
+    def _transfer_parts(self, peer_rank, nbytes):
+        """One message = a bulk copy staged through the peer's MPB.
+        Returns ``(total_cycles, mesh_hop_part)`` so attribution can
+        split the charge."""
         peer = peer_rank % self.world.num_ues
         hops = self._hops_to.get(peer)
         if hops is None:
@@ -449,8 +478,18 @@ class RCCECoreRuntime:
                 self.core_id, peer_core)
         words = max((nbytes + 3) // 4, 1)
         config = self.world.chip.config
-        return (2 * config.mpb_base_cycles
-                + hops * config.mesh_cycles_per_hop + words)
+        hop_part = hops * config.mesh_cycles_per_hop
+        return (2 * config.mpb_base_cycles + hop_part + words,
+                hop_part)
+
+    def _transfer_cost(self, peer_rank, nbytes):
+        return self._transfer_parts(peer_rank, nbytes)[0]
+
+    def _attr_transfer(self, total, hop_part):
+        """Attribute one charged message-transfer cost (MPB round
+        trips + pipelined words vs. mesh hops)."""
+        self.attr.add(self.core_id, "mesh_hop", hop_part)
+        self.attr.add(self.core_id, "mpb", total - hop_part)
 
     def _send(self, interp, arg_nodes):
         """RCCE_send(buf, size, dest) — synchronous."""
@@ -462,18 +501,28 @@ class RCCECoreRuntime:
         if self.race is not None:
             self.race.record_range(interp, buf.addr, count, stride,
                                    "read")
-        cost = self._transfer_cost(dest, nbytes)
+        cost, hop_part = self._transfer_parts(dest, nbytes)
         channel = self.world.fabric.channel(self.rank, dest)
         entry = interp.cycles
         seq = None
         retrier = self.world.retrier
         if retrier is not None:
             seq = retrier.next_seq(self.rank, dest)
-            interp.charge(retrier.transmit(self, interp, dest, seq,
-                                           cost))
-        interp.cycles = channel.send(values, interp.cycles + cost,
+            extra = retrier.transmit(self, interp, dest, seq, cost)
+            interp.charge(extra)
+            if self.attr is not None:
+                self.attr.add(self.core_id, "retry_backoff", extra)
+        posted = interp.cycles + cost
+        interp.cycles = channel.send(values, posted,
                                      seq=seq, race=self.race,
                                      tid=self.rank)
+        if self.attr is not None:
+            self._attr_transfer(cost, hop_part)
+            self.attr.add(self.core_id, "comm_wait",
+                          interp.cycles - posted)
+            self.attr.send_event(self.rank,
+                                 dest % self.world.num_ues,
+                                 entry, posted, interp.cycles)
         self.world.messages_sent += 1
         self.world.send_bytes += nbytes
         events = self.world.chip.events
@@ -490,12 +539,21 @@ class RCCECoreRuntime:
         if len(args) < 3 or not isinstance(args[0], Pointer):
             return -1
         buf, nbytes, source = args[0], max(int(args[1]), 0), int(args[2])
-        cost = self._transfer_cost(source, nbytes)
+        cost, hop_part = self._transfer_parts(source, nbytes)
         channel = self.world.fabric.channel(source, self.rank)
         entry = interp.cycles
         values, clock = channel.recv(interp.cycles, cost,
                                      race=self.race, tid=self.rank)
         interp.cycles = clock
+        if self.attr is not None:
+            # clock = max(entry, sender_clock) + cost: the transfer is
+            # ours to attribute, the rest was spent waiting
+            self._attr_transfer(cost, hop_part)
+            self.attr.add(self.core_id, "comm_wait",
+                          clock - cost - entry)
+            self.attr.recv_event(self.rank,
+                                 source % self.world.num_ues,
+                                 entry, clock - cost, clock)
         events = self.world.chip.events
         if events.enabled:
             events.complete(self.core_id, entry, clock - entry, "recv",
@@ -537,7 +595,12 @@ class RCCECoreRuntime:
             return -1
         flag_id = self._flag_id(interp, args[0])
         target = int(args[2]) if len(args) > 2 else self.rank
-        interp.charge(self._transfer_cost(target, 4))
+        cost, hop_part = self._transfer_parts(target, 4)
+        interp.charge(cost)
+        if self.attr is not None:
+            self._attr_transfer(cost, hop_part)
+            self.attr.flag_write_event(self.rank, flag_id,
+                                       interp.cycles)
         self.world.flags.write(flag_id, int(args[1]), interp.cycles,
                                race=self.race, tid=self.rank)
         return 0
@@ -549,7 +612,10 @@ class RCCECoreRuntime:
             return -1
         flag_id = self._flag_id(interp, args[0])
         source = int(args[2]) if len(args) > 2 else self.rank
-        interp.charge(self._transfer_cost(source, 4))
+        cost, hop_part = self._transfer_parts(source, 4)
+        interp.charge(cost)
+        if self.attr is not None:
+            self._attr_transfer(cost, hop_part)
         value = self.world.flags.read(flag_id, race=self.race,
                                       tid=self.rank)
         if len(args) > 1 and isinstance(args[1], Pointer):
@@ -563,9 +629,17 @@ class RCCECoreRuntime:
             return -1
         flag_id = self._flag_id(interp, args[0])
         interp.charge(self.world.chip.config.mpb_base_cycles)
+        entry = interp.cycles
         interp.cycles = self.world.flags.wait_until(
             flag_id, int(args[1]), interp.cycles, race=self.race,
             tid=self.rank)
+        if self.attr is not None:
+            self.attr.add(self.core_id, "mpb",
+                          self.world.chip.config.mpb_base_cycles)
+            self.attr.add(self.core_id, "comm_wait",
+                          interp.cycles - entry)
+            self.attr.wait_event(self.rank, flag_id, entry,
+                                 interp.cycles)
         return 0
 
     # -- collectives -------------------------------------------------------------------
@@ -590,10 +664,21 @@ class RCCECoreRuntime:
                                        "read")
         else:
             values = []
-        interp.charge(self._transfer_cost(root, nbytes))
+        cost, hop_part = self._transfer_parts(root, nbytes)
+        interp.charge(cost)
+        attr = self.attr
+        snapshot = attr.core_snapshot(self.core_id) \
+            if attr is not None else None
+        entry = interp.cycles
         deposits, clock = self.world.collectives.exchange(
             self.rank, interp.cycles, values, self._next_round())
         interp.cycles = clock
+        if attr is not None:
+            # the exchange aligns clocks on the world barrier, so it
+            # counts (and records) as a barrier round
+            self._attr_transfer(cost, hop_part)
+            attr.add(self.core_id, "barrier_wait", clock - entry)
+            attr.barrier_event(self.rank, entry, clock, snapshot)
         if self.rank != root:
             delivered = deposits.get(root, [])
             for index, value in enumerate(delivered):
@@ -625,11 +710,20 @@ class RCCECoreRuntime:
         if self.race is not None:
             self.race.record_range(interp, inbuf.addr, count, stride,
                                    "read")
-        interp.charge(self._transfer_cost(
-            root if root is not None else 0, count * stride))
+        cost, hop_part = self._transfer_parts(
+            root if root is not None else 0, count * stride)
+        interp.charge(cost)
+        attr = self.attr
+        snapshot = attr.core_snapshot(self.core_id) \
+            if attr is not None else None
+        entry = interp.cycles
         deposits, clock = self.world.collectives.exchange(
             self.rank, interp.cycles, values, self._next_round())
         interp.cycles = clock
+        if attr is not None:
+            self._attr_transfer(cost, hop_part)
+            attr.add(self.core_id, "barrier_wait", clock - entry)
+            attr.barrier_event(self.rank, entry, clock, snapshot)
         if all_ranks or self.rank == root:
             result = CollectiveArea.reduce(deposits, op)
             out_stride = max(outbuf.stride, 1)

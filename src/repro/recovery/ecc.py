@@ -127,6 +127,8 @@ class ECCScrubber:
                     chip.mesh.controller_of(core)]
                 controller.stats.ecc_corrected += 1
             interp.charge(self.scrub_cycles)
+            if interp._attr is not None:
+                interp._attr.add(core, "ecc_scrub", self.scrub_cycles)
             if chip.events.enabled:
                 chip.events.instant(
                     core, interp.cycles, "ecc_correct", "recovery",

@@ -19,12 +19,16 @@ class RecoveryReport:
         self.restarts = 0    # restarts actually performed
         self.recovered = False
 
-    def record_failure(self, attempt, exc, restored_round=None):
+    def record_failure(self, attempt, exc, restored_round=None,
+                       audit=None):
         self.failures.append({
             "attempt": attempt,
             "error": type(exc).__name__,
             "message": str(exc).splitlines()[0] if str(exc) else "",
             "restored_from_round": restored_round,
+            # the failed attempt's RaceReport (race=... runs), so an
+            # audit finding that died with the attempt still surfaces
+            "audit": audit,
         })
 
     @property
@@ -33,10 +37,18 @@ class RecoveryReport:
         return len(self.failures) + 1
 
     def as_dict(self):
+        failures = []
+        for failure in self.failures:
+            entry = dict(failure)
+            audit = entry.get("audit")
+            if audit is not None:
+                entry["audit"] = audit.as_dict() \
+                    if hasattr(audit, "as_dict") else audit
+            failures.append(entry)
         return {"max_restarts": self.max_restarts,
                 "restarts": self.restarts,
                 "recovered": self.recovered,
-                "failures": [dict(f) for f in self.failures]}
+                "failures": failures}
 
     def diagnostics(self):
         """The report as pipeline-style diagnostics (stage
@@ -51,6 +63,13 @@ class RecoveryReport:
                    failure["message"],
                    "from checkpoint round %d" % where
                    if where is not None else "from the beginning")))
+            audit = failure.get("audit")
+            if audit is not None and audit.findings:
+                found.append(Diagnostic(
+                    "recovery", WARNING,
+                    "attempt %d's race audit reported %d finding(s) "
+                    "before the failure"
+                    % (failure["attempt"] + 1, len(audit.findings))))
         if self.recovered:
             found.append(Diagnostic(
                 "recovery", INFO,

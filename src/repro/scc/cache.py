@@ -33,6 +33,12 @@ class CacheStats:
         self.misses = 0
         self.evictions = 0
 
+    def snapshot(self):
+        """Plain-dict copy, cheap enough for the attribution engine
+        to take at every barrier entry (per-phase hit-rate deltas)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
     def __repr__(self):
         return "CacheStats(hits=%d, misses=%d, rate=%.3f)" % (
             self.hits, self.misses, self.hit_rate)

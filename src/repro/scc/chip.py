@@ -87,6 +87,11 @@ class SCCChip:
         # race detection (repro.race): ``None`` means no detector is
         # attached and the interpreter/runtime hooks are dead branches
         self.race = None
+        # cycle attribution (repro.obs.attribution): ``None`` means no
+        # engine is attached; every cost method below classifies its
+        # cycles behind one is-not-None probe, and the fast-path
+        # closures bake the probe result in at build time
+        self.attribution = None
 
     # -- observability ----------------------------------------------------------
 
@@ -162,6 +167,20 @@ class SCCChip:
         for link, count in sorted(self.mesh.link_traffic.items()):
             samples.append(("counter", "scc_mesh_link_traffic",
                             {"link": "%s->%s" % link}, count))
+        for (link, segment), count in sorted(
+                self.mesh.segment_traffic.items()):
+            samples.append(("counter", "scc_mesh_segment_traffic",
+                            {"link": "%s->%s" % link,
+                             "segment": segment}, count))
+        for owner, row in sorted(self.mpb.owner_traffic_totals()
+                                 .items()):
+            labels = {"owner": owner}
+            samples.append(("counter", "scc_mpb_owner_reads", labels,
+                            row["reads"]))
+            samples.append(("counter", "scc_mpb_owner_writes", labels,
+                            row["writes"]))
+            samples.append(("counter", "scc_mpb_owner_bytes", labels,
+                            row["bytes"]))
         samples.append(("gauge", "scc_power_watts", {},
                         self.power.chip_power_watts()))
         samples.append(("gauge", "scc_mem_epoch", {}, self.mem_epoch))
@@ -177,6 +196,7 @@ class SCCChip:
         for controller in self.controllers:
             controller.stats.reset()
         self.mpb.stats.reset()
+        self.mpb.owner_traffic.clear()
         self.mesh.reset_traffic()
 
     # -- requester registration (contention model input) -----------------------
@@ -249,8 +269,11 @@ class SCCChip:
         else:
             cost = self._mpb_cost(core, physical, kind, size, ts)
         if self.faults is not None:
-            cost += self.faults.latency_extra(core, segment, kind,
+            extra = self.faults.latency_extra(core, segment, kind,
                                               cost, ts)
+            if extra and self.attribution is not None:
+                self.attribution.add(core, "fault_latency", extra)
+            cost += extra
         return cost
 
     def access_fastpath(self, core, addr):
@@ -306,6 +329,9 @@ class SCCChip:
             # stats objects stay valid for the life of the entry.  The
             # miss branch touches nothing and delegates to
             # _private_cost, whose own L1 probe records the miss.
+            # Attribution adds no code here at all: every L1/L2 hit
+            # costs a constant, so the engine derives the hit classes
+            # from the caches' own hit counters.
             l1 = state.l1
 
             def fn(addr, kind, ts, _acc=state.accesses,
@@ -339,11 +365,21 @@ class SCCChip:
                    _cycles=self.controllers[controller_id].access_cycles,
                    _hops=hops, _chip=self, _core=core,
                    _mc="MC%d" % controller_id,
-                   _penalty=self.config.uncached_shared_penalty):
+                   _penalty=self.config.uncached_shared_penalty,
+                   _hop_part=hops * self.config.mesh_cycles_per_hop,
+                   _attr=self.attribution,
+                   _attr_hop=(None if self.attribution is None else
+                              self.attribution.cell(core, "mesh_hop")),
+                   _attr_dram=(None if self.attribution is None else
+                               self.attribution.cell(core,
+                                                     "dram_shared"))):
                 _acc[_seg] += 1
                 if _mesh.record_traffic:
-                    _mesh.record_route(_src, _dst)
+                    _mesh.record_route(_src, _dst, "shared")
                 cost = _cycles(kind, _hops)
+                if _attr is not None:
+                    _attr_hop[0] += _hop_part
+                    _attr_dram[0] += cost - _hop_part + _penalty
                 events = _chip.events
                 if events.enabled:
                     events.instant(
@@ -361,7 +397,9 @@ class SCCChip:
                    _seg=SegmentKind.MPB, _l1=l1.access, _ls=l1.line_size,
                    _ns=l1.num_sets, _sets=l1.sets, _stats=l1.stats,
                    _l1_hit=self.config.l1_hit_cycles,
-                   _tail=self._mpb_tail, _core=core, _delta=delta):
+                   _tail=self._mpb_tail, _core=core, _delta=delta,
+                   _probe=(None if self.attribution is None else
+                           self.attribution.probe_cell(core))):
                 _acc[_seg] += 1
                 addr += _delta
                 if kind == "read":
@@ -375,11 +413,17 @@ class SCCChip:
                             return _l1_hit
                     _l1(addr)  # records the miss and fills the line
                 else:
-                    _l1(addr)  # write-through: line present after
+                    # write-through: the probe fills the line but the
+                    # charged cycles are the MPB tail's, so attribution
+                    # must not count this hit as l1_hit
+                    if _l1(addr) and _probe is not None:
+                        _probe[0] += 1
                 return _tail(_core, addr, kind, 4, ts)
         return lo, hi, fn
 
     def _private_cost(self, core, state, addr, ts=0):
+        # L1/L2 hits need no attribution hook: they cost a constant,
+        # so the engine derives the hit classes from the cache stats
         if state.l1.access(addr):
             return self.config.l1_hit_cycles
         if state.l2.access(addr):
@@ -394,7 +438,13 @@ class SCCChip:
                 core, ts, "cache_miss", "cache",
                 {"level": "L2", "controller": controller_id,
                  "hops": hops}, pid=self.trace_pid)
-        return self.controllers[controller_id].access_cycles("read", hops)
+        cost = self.controllers[controller_id].access_cycles("read", hops)
+        attr = self.attribution
+        if attr is not None:
+            hop_part = hops * self.config.mesh_cycles_per_hop
+            attr.add(core, "mesh_hop", hop_part)
+            attr.add(core, "dram_private", cost - hop_part)
+        return cost
 
     def _shared_cost(self, core, kind, ts=0):
         controller_id = self.mesh.controller_of(core)
@@ -402,8 +452,15 @@ class SCCChip:
         if self.mesh.record_traffic:
             self.mesh.record_route(
                 self.mesh.coords_of(core),
-                self.mesh.controller_coords(controller_id))
+                self.mesh.controller_coords(controller_id), "shared")
         cost = self.controllers[controller_id].access_cycles(kind, hops)
+        attr = self.attribution
+        if attr is not None:
+            hop_part = hops * self.config.mesh_cycles_per_hop
+            attr.add(core, "mesh_hop", hop_part)
+            attr.add(core, "dram_shared",
+                     cost - hop_part
+                     + self.config.uncached_shared_penalty)
         if self.events.enabled:
             self.events.instant(
                 core, ts, "mesh_route", "mesh",
@@ -420,7 +477,11 @@ class SCCChip:
         if kind == "read" and state.l1.access(addr):
             return self.config.l1_hit_cycles
         if kind == "write":
-            state.l1.access(addr)  # write-through: line present after
+            # write-through: the probe fills the line but the charged
+            # cycles are the MPB tail's — attribution must not count
+            # this hit as l1_hit
+            if state.l1.access(addr) and self.attribution is not None:
+                self.attribution.probe_cell(core)[0] += 1
         return self._mpb_tail(core, addr, kind, size, ts)
 
     def _mpb_tail(self, core, addr, kind, size, ts):
@@ -429,7 +490,8 @@ class SCCChip:
             owner = self.mpb.owner_of_offset(offset)
             if self.mesh.record_traffic:
                 self.mesh.record_route(self.mesh.coords_of(core),
-                                       self.mesh.coords_of(owner))
+                                       self.mesh.coords_of(owner),
+                                       "mpb")
             if self.events.enabled:
                 self.events.instant(
                     core, ts, "mesh_route", "mesh",

@@ -20,6 +20,10 @@ class Mesh:
         self.config = config
         self.record_traffic = False
         self.link_traffic = {}
+        # per-link traffic split by address segment ("shared"/"mpb"),
+        # keyed (link, segment); only populated for routes whose
+        # pricing site passes a segment label
+        self.segment_traffic = {}
         self._traffic_lock = None
         # messages lost to injected link faults (repro.faults); the
         # increment is GIL-atomic like the other counters
@@ -43,8 +47,10 @@ class Mesh:
         if self._traffic_lock is None:
             self._traffic_lock = threading.Lock()
 
-    def record_route(self, from_coords, to_coords):
-        """Count each XY link between two tile coordinates."""
+    def record_route(self, from_coords, to_coords, segment=None):
+        """Count each XY link between two tile coordinates; when the
+        pricing site labels the route with its address ``segment``,
+        the per-segment split feeds the chip report's heatmap."""
         if not self.record_traffic:
             return
         path = self._coords_route(from_coords, to_coords)
@@ -52,14 +58,20 @@ class Mesh:
             for link in zip(path, path[1:]):
                 self.link_traffic[link] = \
                     self.link_traffic.get(link, 0) + 1
+                if segment is not None:
+                    key = (link, segment)
+                    self.segment_traffic[key] = \
+                        self.segment_traffic.get(key, 0) + 1
 
     def reset_traffic(self):
         """Clear the per-link counters (recording stays as-is)."""
         if self._traffic_lock is not None:
             with self._traffic_lock:
                 self.link_traffic.clear()
+                self.segment_traffic.clear()
         else:
             self.link_traffic.clear()
+            self.segment_traffic.clear()
         self.drops = 0
         self.retries = 0
 

@@ -41,6 +41,42 @@ class MessagePassingBuffer:
         self.config = config
         self.mesh = mesh
         self.stats = MPBStats()
+        # cycle attribution (repro.obs.attribution): the MPB knows the
+        # hop/SRAM split of every cost it prices, so the engine hooks
+        # here; ``None`` keeps both cost methods branch-free.  The
+        # (mesh_hop, mpb) cell pair is cached per requester — cells
+        # are zeroed in place on reset, so entries never go stale
+        # while one engine is attached (attach/detach clears them)
+        self.attribution = None
+        self._attr_cells = {}
+        # opt-in per-owner-segment utilization for the chip report's
+        # MPB heatmap; keyed (owner, requester) so each entry has a
+        # single writer thread
+        self.record_owner_traffic = False
+        self.owner_traffic = {}
+
+    def enable_owner_tracking(self):
+        self.record_owner_traffic = True
+
+    def owner_traffic_totals(self):
+        """Aggregate the (owner, requester) split to per-owner
+        ``{"reads": r, "writes": w, "bytes": b}`` rows."""
+        totals = {}
+        for (owner, _), counts in self.owner_traffic.items():
+            row = totals.setdefault(owner,
+                                    {"reads": 0, "writes": 0,
+                                     "bytes": 0})
+            row["reads"] += counts[0]
+            row["writes"] += counts[1]
+            row["bytes"] += counts[2]
+        return totals
+
+    def _owner_cell(self, owner, requester):
+        key = (owner, requester)
+        cell = self.owner_traffic.get(key)
+        if cell is None:
+            cell = self.owner_traffic[key] = [0, 0, 0]
+        return cell
 
     @property
     def segment_bytes(self):
@@ -60,13 +96,25 @@ class MessagePassingBuffer:
         """Cycle cost for ``requester`` touching the MPB at ``offset``."""
         owner = self.owner_of_offset(offset)
         hops = self.mesh.hops(requester, owner)
-        cost = (self.config.mpb_base_cycles
-                + hops * self.config.mesh_cycles_per_hop)
+        hop_part = hops * self.config.mesh_cycles_per_hop
+        cost = self.config.mpb_base_cycles + hop_part
         if kind == "read":
             self.stats.reads += 1
         else:
             self.stats.writes += 1
         self.stats.bytes_moved += size
+        if self.attribution is not None:
+            cells = self._attr_cells.get(requester)
+            if cells is None:
+                cells = self._attr_cells[requester] = (
+                    self.attribution.cell(requester, "mesh_hop"),
+                    self.attribution.cell(requester, "mpb"))
+            cells[0][0] += hop_part
+            cells[1][0] += cost - hop_part
+        if self.record_owner_traffic:
+            cell = self._owner_cell(owner, requester)
+            cell[0 if kind == "read" else 1] += 1
+            cell[2] += size
         return cost
 
     def bulk_transfer_cycles(self, requester, offset, nbytes):
@@ -75,9 +123,21 @@ class MessagePassingBuffer:
         bulk copy ... further improving performance')."""
         owner = self.owner_of_offset(offset)
         hops = self.mesh.hops(requester, owner)
+        hop_part = hops * self.config.mesh_cycles_per_hop
         words = max((nbytes + 3) // 4, 1)
-        cost = (self.config.mpb_base_cycles
-                + hops * self.config.mesh_cycles_per_hop
+        cost = (self.config.mpb_base_cycles + hop_part
                 + words)  # one cycle per pipelined word
         self.stats.bytes_moved += nbytes
+        if self.attribution is not None:
+            cells = self._attr_cells.get(requester)
+            if cells is None:
+                cells = self._attr_cells[requester] = (
+                    self.attribution.cell(requester, "mesh_hop"),
+                    self.attribution.cell(requester, "mpb"))
+            cells[0][0] += hop_part
+            cells[1][0] += cost - hop_part
+        if self.record_owner_traffic:
+            cell = self._owner_cell(owner, requester)
+            cell[1] += 1
+            cell[2] += nbytes
         return cost

@@ -61,6 +61,26 @@ def chip_report(chip, active_cores=None):
                 hits / accesses if accesses else 0.0
         report["cores"][core] = stats
 
+    # per-segment mesh-link traffic and per-owner MPB traffic: both
+    # opt-in recordings (`repro analyze --bottlenecks` turns them on),
+    # so these tables are empty — and render nothing — on normal runs
+    mesh_segments = {}
+    for row in counters.get("scc_mesh_segment_traffic", ()):
+        link = row["labels"]["link"]
+        mesh_segments.setdefault(link, {})[
+            row["labels"]["segment"]] = row["value"]
+    report["mesh_segments"] = mesh_segments
+    mpb_owners = {}
+    for metric, field in (("scc_mpb_owner_reads", "reads"),
+                          ("scc_mpb_owner_writes", "writes"),
+                          ("scc_mpb_owner_bytes", "bytes")):
+        for row in counters.get(metric, ()):
+            owner = row["labels"]["owner"]
+            mpb_owners.setdefault(
+                owner, {"reads": 0, "writes": 0, "bytes": 0})[field] = \
+                row["value"]
+    report["mpb_owners"] = mpb_owners
+
     for row in counters.get("scc_dram_reads", ()):
         controller = row["labels"]["controller"]
         report["controllers"][controller] = {
@@ -110,6 +130,25 @@ def render_report(report):
         lines.append("mpb: %d reads, %d writes, %d bytes"
                      % (mpb["reads"], mpb["writes"],
                         mpb["bytes_moved"]))
+    if report.get("mesh_segments"):
+        lines.append("mesh link traffic by segment (hops):")
+        segments = sorted({segment
+                           for per_link in report["mesh_segments"].values()
+                           for segment in per_link})
+        lines.append("  %-16s %s" % ("link", "  ".join(
+            "%8s" % segment for segment in segments)))
+        for link, per_link in sorted(report["mesh_segments"].items()):
+            lines.append("  %-16s %s" % (link, "  ".join(
+                "%8d" % per_link.get(segment, 0)
+                for segment in segments)))
+    if report.get("mpb_owners"):
+        lines.append("mpb traffic by owning core:")
+        lines.append("  %-8s %8s %8s %10s"
+                     % ("owner", "reads", "writes", "bytes"))
+        for owner, stats in sorted(report["mpb_owners"].items()):
+            lines.append("  core %-3d %8d %8d %10d"
+                         % (owner, stats["reads"], stats["writes"],
+                            stats["bytes"]))
     return "\n".join(lines)
 
 

@@ -141,14 +141,26 @@ def _free(interp, arg_nodes):
     return None
 
 
+def _block_charge(interp, count):
+    """Charge a bulk word-copy cost (one cycle per word) and classify
+    it for cycle attribution."""
+    interp.charge(count)
+    if interp._attr is not None:
+        interp._attr.add(interp.core_id, "block_copy", count)
+
+
 def _memset(interp, arg_nodes):
     args = _eval_args(interp, arg_nodes)
     pointer, value, nbytes = args[0], int(args[1]), int(args[2])
     if not isinstance(pointer, Pointer):
         return NULL
     count = max(nbytes // pointer.stride, 1)
-    interp.charge(count)  # one cycle per word, bulk
+    _block_charge(interp, count)  # one cycle per word, bulk
     interp.memory.memset(pointer.addr, value, count, pointer.stride)
+    if interp._race is not None:
+        # block builtins bypass interp.store, so shadow-record here
+        interp._race.record_range(interp, pointer.addr, count,
+                                  pointer.stride, "write")
     return pointer
 
 
@@ -158,8 +170,38 @@ def _memcpy(interp, arg_nodes):
     if not isinstance(dst, Pointer) or not isinstance(src, Pointer):
         return NULL
     count = max(nbytes // dst.stride, 1)
-    interp.charge(count)
+    _block_charge(interp, count)
     interp.memory.memcpy(dst.addr, src.addr, count, dst.stride)
+    if interp._race is not None:
+        interp._race.record_range(interp, src.addr, count, dst.stride,
+                                  "read")
+        interp._race.record_range(interp, dst.addr, count, dst.stride,
+                                  "write")
+    return dst
+
+
+def _strcpy(interp, arg_nodes):
+    """Strings are whole Python values in the memory model, so strcpy
+    is one stored value — priced per word like the other block
+    builtins."""
+    args = _eval_args(interp, arg_nodes)
+    if len(args) < 2 or not isinstance(args[0], Pointer):
+        return NULL
+    dst, src = args[0], args[1]
+    if isinstance(src, Pointer):
+        text = interp.memory.load(src.addr)
+        if interp._race is not None:
+            interp._race.record_range(interp, src.addr, 1,
+                                      max(src.stride, 1), "read")
+    else:
+        text = src
+    text = "" if text is None else str(text)
+    count = max((len(text) + 1 + 3) // 4, 1)  # words incl. the NUL
+    _block_charge(interp, count)
+    interp.memory.store(dst.addr, text)
+    if interp._race is not None:
+        interp._race.record_range(interp, dst.addr, 1,
+                                  max(dst.stride, 1), "write")
     return dst
 
 
@@ -229,6 +271,7 @@ def default_builtins():
         "free": _free,
         "memset": _memset,
         "memcpy": _memcpy,
+        "strcpy": _strcpy,
         "rand": _rand,
         "srand": _srand,
         "exit": _exit,

@@ -121,6 +121,11 @@ class Interpreter:
         # None — in which case every hook is a dead branch and cycles,
         # output, and traces are byte-identical to an unaudited run
         self._race = getattr(chip, "race", None)
+        # cycle attribution (repro.obs.attribution): same contract.
+        # The load/store hot path carries NO per-op hook — memory-op
+        # counts come from the chip's own per-core access counters,
+        # which both engines already maintain identically
+        self._attr = getattr(chip, "attribution", None)
 
         stack_segment = chip.address_space.alloc_private(
             core_id, STACK_BYTES, "stack-core%d" % core_id)

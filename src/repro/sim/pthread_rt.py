@@ -95,6 +95,9 @@ class PthreadRuntime:
         if isinstance(tid_target, Pointer) and tid_target.addr:
             interp.store(tid_target.addr, tid)
         interp.charge(THREAD_CREATE_COST)
+        if interp._attr is not None:
+            interp._attr.add(interp.core_id, "sched_overhead",
+                             THREAD_CREATE_COST)
         race = interp._race
         if race is not None:
             race.thread_create(self._current_tid[-1], tid)
@@ -115,6 +118,9 @@ class PthreadRuntime:
         record = self.threads.get(int(tid) if not isinstance(
             tid, Pointer) else tid.addr)
         interp.charge(THREAD_JOIN_COST)
+        if interp._attr is not None:
+            interp._attr.add(interp.core_id, "sched_overhead",
+                             THREAD_JOIN_COST)
         if record is None:
             return 3  # ESRCH
         self._run_thread(interp, record)
@@ -179,6 +185,9 @@ class PthreadRuntime:
     def _mutex_lock(self, interp, arg_nodes):
         values = [interp.eval_expr(node) for node in arg_nodes]
         interp.charge(MUTEX_OP_COST)
+        if interp._attr is not None:
+            interp._attr.add(interp.core_id, "lock_spin",
+                             MUTEX_OP_COST)
         race = interp._race
         if race is not None and values:
             race.lock_acquire(self._current_tid[-1],
@@ -188,6 +197,9 @@ class PthreadRuntime:
     def _mutex_unlock(self, interp, arg_nodes):
         values = [interp.eval_expr(node) for node in arg_nodes]
         interp.charge(MUTEX_OP_COST)
+        if interp._attr is not None:
+            interp._attr.add(interp.core_id, "lock_spin",
+                             MUTEX_OP_COST)
         race = interp._race
         if race is not None and values:
             race.lock_release(self._current_tid[-1],

@@ -29,6 +29,7 @@ import threading
 from repro.cfront.frontend import parse_program
 from repro.diagnostics import Diagnostic
 from repro.faults import CoreCrashFault, FaultInjector
+from repro.obs.attribution import AttributionEngine
 from repro.race import RaceDetector
 from repro.rcce.api import RCCEWorld
 from repro.recovery import (
@@ -89,6 +90,8 @@ class RunResult:
         self.recovery = None
         # RaceReport when the run was audited (race=...)
         self.race = None
+        # AttributionReport when cycle accounting ran (attribution=...)
+        self.attribution = None
 
     @property
     def seconds(self):
@@ -153,6 +156,15 @@ def _as_detector(race):
     return RaceDetector()
 
 
+def _as_attribution(attribution):
+    """Accept an AttributionEngine, truthy (build one), or None."""
+    if attribution is None or attribution is False:
+        return None
+    if isinstance(attribution, AttributionEngine):
+        return attribution
+    return AttributionEngine()
+
+
 def _source_sha(program):
     """Content hash of a source-string program (None for a pre-parsed
     unit) — snapshots record it so a restore from the wrong program is
@@ -203,18 +215,21 @@ def _timeout_from(exc, interpreters, ranks=None):
 
 def run_pthread_single_core(program, config=None, chip=None, core=0,
                             max_steps=200_000_000, engine="compiled",
-                            faults=None, race=None):
+                            faults=None, race=None, attribution=None):
     """Run a Pthreads program with all threads on one core."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     injector = _as_injector(faults)
     detector = _as_detector(race)
+    attr = _as_attribution(attribution)
     engine, downgrade = _resolve_engine(engine, injector)
     if injector is not None:
         injector.attach(chip)
     if detector is not None:
         detector.attach(chip)
+    if attr is not None:
+        attr.attach(chip)  # before _prepare_chip: its reset hooks in
     memory = Memory()
     runtime = PthreadRuntime()
     interpreters = []
@@ -236,11 +251,17 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     finally:
         chip.deactivate_core(core)
         metrics = chip.metrics.snapshot()
+        if attr is not None:
+            attr.detach()
         if detector is not None:
             detector.detach()
         if injector is not None:
             injector.detach()
     overhead = runtime.scheduling_overhead_cycles(config, interp.cycles)
+    if attr is not None and overhead:
+        # the quantum tax is paid outside the interpreter loop; classify
+        # it so the conservation invariant covers the reported total
+        attr.add(core, "sched_overhead", overhead)
     total = interp.cycles + overhead
     result = RunResult(
         total, config, interp.output,
@@ -257,6 +278,8 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     if detector is not None:
         result.race = detector.report()
         result.diagnostics.extend(result.race.diagnostics())
+    if attr is not None:
+        result.attribution = attr.report({core: total})
     return result
 
 
@@ -280,13 +303,14 @@ class _CoreError:
 
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
              max_steps=200_000_000, engine="compiled", faults=None,
-             watchdog=None, recovery=None, race=None):
+             watchdog=None, recovery=None, race=None, attribution=None):
     """Run a translated RCCE program on ``num_ues`` simulated cores."""
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     injector = _as_injector(faults)
     detector = _as_detector(race)
+    attr = _as_attribution(attribution)
     if recovery is not None and not recovery.active:
         recovery = None
     checkpointed = recovery is not None and recovery.checkpointed
@@ -296,6 +320,8 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
         injector.attach(chip)
     if detector is not None:
         detector.attach(chip)  # before the world: it reads chip.race
+    if attr is not None:
+        attr.attach(chip)  # before the world: it binds the rank map
     if engine == "compiled":
         # lower the unit once, before any core thread spawns: the
         # compiled-unit cache is shared and this keeps thread startup
@@ -393,6 +419,8 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
             manager.unbind()
         if scrubber is not None:
             scrubber.detach()
+        if attr is not None:
+            attr.detach()
         if detector is not None:
             detector.detach()
         if injector is not None:
@@ -426,6 +454,9 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     if detector is not None:
         result.race = detector.report()
         result.diagnostics.extend(result.race.diagnostics())
+    if attr is not None:
+        result.attribution = attr.report(per_core,
+                                         core_of=world.core_map)
     return result
 
 
@@ -433,7 +464,7 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                         max_steps=200_000_000, engine="compiled",
                         faults=None, recovery=None, max_restarts=1,
                         chip_factory=None, watchdog_factory=None,
-                        race=None):
+                        race=None, attribution=None):
     """Run an RCCE program under a restarting supervisor.
 
     The run checkpoints at barrier rounds
@@ -465,17 +496,20 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
             else SCCChip(config)
         watchdog = watchdog_factory() if watchdog_factory is not None \
             else None
+        # a fresh detector per attempt (race=True builds one here):
+        # epochs must not leak between attempts, or replayed accesses
+        # would look unordered against the dead run's.  Built
+        # explicitly — not inside run_rcce — so a failed attempt's
+        # audit can still be reported per attempt.
+        attempt_race = _as_detector(
+            race if not isinstance(race, RaceDetector)
+            else RaceDetector(race.max_findings))
         try:
             result = run_rcce(
                 program, num_ues, config=config, chip=chip,
                 core_map=core_map, max_steps=max_steps, engine=engine,
                 faults=injector, watchdog=watchdog, recovery=options,
-                # a fresh detector per attempt (race=True builds one
-                # inside run_rcce): epochs must not leak between
-                # attempts, or replayed accesses would look unordered
-                # against the dead run's
-                race=race if not isinstance(race, RaceDetector)
-                else RaceDetector(race.max_findings))
+                race=attempt_race, attribution=attribution)
         except RESTARTABLE_ERRORS as exc:
             if attempt >= max_restarts:
                 exc.recovery_report = report
@@ -487,7 +521,10 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                                          config=config,
                                          source_sha=source_sha)
                 restored = snapshot.round
-            report.record_failure(attempt, exc, restored)
+            report.record_failure(
+                attempt, exc, restored,
+                audit=attempt_race.report()
+                if attempt_race is not None else None)
             options = recovery.with_restore(snapshot)
             if injector is not None:
                 injector.reset_streams()

@@ -415,3 +415,75 @@ def test_race_detector_is_cycle_invisible_rcce(engine):
     off = _rcce_signature(unit, engine, race=False)
     on = _rcce_signature(unit, engine, race=True)
     assert on == off
+
+
+# -- cycle attribution: byte-identical timing, enabled or not ------------------
+
+
+def _pthread_attr_signature(source, engine, attribution):
+    result = run_pthread_single_core(source, chip=_tiny_chip(),
+                                     max_steps=50_000_000,
+                                     engine=engine,
+                                     attribution=attribution)
+    return (result.cycles, dict(result.per_core_cycles),
+            result.stdout(), result.metrics)
+
+
+def _rcce_attr_signature(unit, engine, attribution):
+    chip = _tiny_chip()
+    result = run_rcce(unit, 4, chip.config, chip,
+                      max_steps=50_000_000, engine=engine,
+                      attribution=attribution)
+    return result, (result.cycles, dict(result.per_core_cycles),
+                    result.stdout())
+
+
+def _translated_dot():
+    from repro.bench.harness import SCALED_ON_CHIP_CAPACITY
+    framework = TranslationFramework(
+        on_chip_capacity=SCALED_ON_CHIP_CAPACITY,
+        partition_policy="size")
+    return framework.translate(benchmark_source("dot", 4, n=64)).unit
+
+
+@pytest.mark.parametrize("engine", ["tree", "compiled"])
+def test_attribution_is_cycle_invisible_pthread(engine):
+    """Attributing every cycle must not move one — the engine watches
+    the charges, it never makes them.  The metrics snapshot is part of
+    the signature: only the attribution collector's own series may
+    differ, so it is compared with those popped."""
+    source = benchmark_source("pi", 4, steps=256)
+    off = _pthread_attr_signature(source, engine, attribution=False)
+    on = _pthread_attr_signature(source, engine, attribution=True)
+    for snapshot in (on[3], off[3]):
+        snapshot["counters"].pop("attr_cycles", None)
+        snapshot["counters"].pop("attr_mem_ops", None)
+        # attaching rebuilds the memory fast paths (an epoch bump),
+        # which is bookkeeping, not timing
+        snapshot["gauges"].pop("scc_mem_epoch", None)
+    assert on == off
+
+
+@pytest.mark.parametrize("engine", ["tree", "compiled"])
+def test_attribution_is_cycle_invisible_rcce(engine):
+    unit = _translated_dot()
+    _, off = _rcce_attr_signature(unit, engine, attribution=False)
+    _, on = _rcce_attr_signature(unit, engine, attribution=True)
+    assert on == off
+
+
+def test_attribution_identical_across_engines():
+    """Enabled-mode parity: both engines must produce the same
+    attribution breakdown, the same per-core memory-op counts, and the
+    same critical path — the compiled fast paths bake the same cells
+    the tree-walker bumps."""
+    unit = _translated_dot()
+    reports = {}
+    for engine in ("tree", "compiled"):
+        result, _ = _rcce_attr_signature(unit, engine, attribution=True)
+        reports[engine] = result.attribution
+    tree, compiled = reports["tree"], reports["compiled"]
+    assert compiled.per_core == tree.per_core
+    assert compiled.mem_ops == tree.mem_ops
+    assert compiled.critical_path.as_dict() == \
+        tree.critical_path.as_dict()
