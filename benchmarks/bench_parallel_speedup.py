@@ -1,0 +1,188 @@
+"""Parallel host backend: wall-clock speedup vs worker count.
+
+Runs the LU and Stream workloads (full Fig. 6.1 sizes, 32 UEs) under
+the process backend at 1, 2, 4 and 8 workers, times the end-to-end
+``run_rcce`` call, verifies the byte-identity contract (cycles,
+per-core cycles, and stdout must match the sequential run exactly),
+and writes a machine-readable report to ``BENCH_parallel.json`` at the
+repo root.
+
+Wall-clock speedup is a property of the *host*: a single-CPU runner
+time-slices the workers and measures ~1x no matter how good the
+backend is, so the report records ``host_cpus`` and the acceptance
+floor (>= 2.5x at 8 workers) is only asserted when the host has at
+least 4 CPUs.  The byte-identity flag is asserted unconditionally —
+that is the part no host can excuse.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py           # full set
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py --smoke   # CI subset
+    pytest benchmarks/bench_parallel_speedup.py                          # smoke test
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.bench.harness import ExperimentHarness  # noqa: E402
+from repro.bench.workloads import Workload  # noqa: E402
+from repro.scc.chip import SCCChip  # noqa: E402
+from repro.sim.runner import run_rcce  # noqa: E402
+
+BENCHMARKS = ("lu", "stream")
+JOBS = (1, 2, 4, 8)
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_parallel.json")
+
+FULL_SPEEDUP_FLOOR = 2.5   # at 8 workers, multicore hosts only
+MIN_HOST_CPUS = 4          # below this the floor cannot be measured
+
+SMOKE_WORKLOADS = {
+    "lu": Workload("lu", {"batch": 4, "dim": 8},
+                   4 * 8 * 8 * 8 + 32 * 8),
+    "stream": Workload("stream", {"n": 128}, 3 * 128 * 8 + 32 * 8),
+}
+
+
+def _signature(result):
+    return (result.cycles, dict(result.per_core_cycles),
+            result.stdout())
+
+
+def measure(benchmarks=BENCHMARKS, num_ues=32, jobs_list=JOBS,
+            workloads=None, max_steps=500_000_000):
+    """Time ``run_rcce`` for each benchmark at each worker count.
+
+    jobs=1 (the sequential engine) is the baseline for both the
+    speedup and the byte-identity check.
+    """
+    harness = ExperimentHarness(num_ues=num_ues, workloads=workloads,
+                                max_steps=max_steps)
+    report_workloads = {}
+    byte_identical = True
+    for name in benchmarks:
+        source = harness.framework("size").translate(
+            harness.source_for(name)).rcce_source
+        rows = {}
+        baseline = None
+        for jobs in jobs_list:
+            chip = harness._fresh_chip()
+            start = time.perf_counter()
+            result = run_rcce(source, num_ues, chip.config, chip,
+                              max_steps=max_steps, jobs=jobs)
+            wall = time.perf_counter() - start
+            signature = _signature(result)
+            if jobs == 1:
+                baseline = (signature, wall)
+            identical = signature == baseline[0]
+            byte_identical = byte_identical and identical
+            rows[str(jobs)] = {
+                "wall_seconds": wall,
+                "speedup": baseline[1] / wall,
+                "byte_identical": identical,
+                "reconciliations":
+                    (result.stats.get("parallel") or {}).get(
+                        "reconciliations", 0),
+            }
+        report_workloads[name] = {
+            "cycles": baseline and _cycles_of(baseline[0]),
+            "jobs": rows,
+        }
+    best = max(row["speedup"]
+               for entry in report_workloads.values()
+               for row in entry["jobs"].values())
+    return {
+        "benchmarks": list(benchmarks),
+        "num_ues": num_ues,
+        "jobs": list(jobs_list),
+        "host_cpus": os.cpu_count(),
+        "measure": "end-to-end run_rcce wall seconds (translation "
+                   "excluded); jobs=1 sequential engine is the "
+                   "baseline",
+        "byte_identical": byte_identical,
+        "best_speedup": best,
+        "workloads": report_workloads,
+    }
+
+
+def _cycles_of(signature):
+    return signature[0]
+
+
+def render(report):
+    lines = ["%-10s %6s %12s %8s %10s"
+             % ("workload", "jobs", "wall s", "speedup", "identical")]
+    for name, entry in report["workloads"].items():
+        for jobs, row in entry["jobs"].items():
+            lines.append("%-10s %6s %12.3f %7.2fx %10s" % (
+                name, jobs, row["wall_seconds"], row["speedup"],
+                row["byte_identical"]))
+    lines.append("host cpus: %s  byte_identical: %s  best: %.2fx"
+                 % (report["host_cpus"], report["byte_identical"],
+                    report["best_speedup"]))
+    return "\n".join(lines)
+
+
+# -- pytest entry (smoke scale) -------------------------------------------------
+
+
+def test_parallel_backend_smoke(tmp_path):
+    report = measure(num_ues=8, jobs_list=(1, 2, 4),
+                     workloads=dict(SMOKE_WORKLOADS))
+    (tmp_path / "BENCH_parallel.json").write_text(
+        json.dumps(report, indent=2))
+    assert report["byte_identical"]
+
+
+# -- script entry ----------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: scaled sizes at 8 UEs, "
+                        "byte-identity only")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help="report path (default %s)" % DEFAULT_OUTPUT)
+    parser.add_argument("--ues", type=int, default=None,
+                        help="override the UE count")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = measure(num_ues=args.ues or 8, jobs_list=(1, 2, 4),
+                         workloads=dict(SMOKE_WORKLOADS))
+        report["mode"] = "smoke"
+    else:
+        report = measure(num_ues=args.ues or 32)
+        report["mode"] = "full"
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(report))
+    print("report written to %s" % args.output)
+    if not report["byte_identical"]:
+        print("FAIL: parallel run diverged from the sequential engine")
+        return 1
+    cpus = report["host_cpus"] or 1
+    if not args.smoke and cpus >= MIN_HOST_CPUS:
+        eight = max(entry["jobs"].get("8", {}).get("speedup", 0.0)
+                    for entry in report["workloads"].values())
+        if eight < FULL_SPEEDUP_FLOOR:
+            print("FAIL: %.2fx at 8 workers < %.1fx floor"
+                  % (eight, FULL_SPEEDUP_FLOOR))
+            return 1
+    elif not args.smoke:
+        print("NOTE: host has %d cpu(s); the %.1fx floor needs >= %d "
+              "and was not asserted" % (cpus, FULL_SPEEDUP_FLOOR,
+                                        MIN_HOST_CPUS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

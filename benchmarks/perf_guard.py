@@ -15,6 +15,11 @@ the machine-relative quantity its report pins:
   the smoke subset and compares against the committed geomean over
   that same subset.  Guard: current speedup >= committed / 1.15,
   cycles identical between engines.
+* ``BENCH_parallel.json`` — the process backend's byte-identity flag
+  (guarded on every host) and wall-clock speedup (guarded only when
+  both the committed report and the current host have >= 4 CPUs —
+  a single-CPU runner time-slices the workers and measures ~1x
+  regardless of backend quality).
 
 Usage::
 
@@ -34,6 +39,7 @@ for path in (os.path.join(ROOT, "src"), os.path.dirname(os.path.abspath(__file__
 
 import bench_attr_overhead  # noqa: E402
 import bench_interp_speed  # noqa: E402
+import bench_parallel_speedup  # noqa: E402
 import bench_race_overhead  # noqa: E402
 
 SLACK = 1.15  # fail on >15% slowdown against the committed number
@@ -98,6 +104,36 @@ def guard_interp():
                 % (speedup, committed, floor, identical))
 
 
+def guard_parallel():
+    """Re-run the parallel smoke subset: byte-identity is guarded on
+    every host; the committed speedup floor only where wall-clock
+    parallelism is measurable (the committed report records its own
+    ``host_cpus`` for the same reason)."""
+    committed = _committed("BENCH_parallel.json")
+    report = bench_parallel_speedup.measure(
+        num_ues=SMOKE_UES, jobs_list=(1, 2, 4),
+        workloads=dict(bench_parallel_speedup.SMOKE_WORKLOADS))
+    ok = report["byte_identical"] and committed["byte_identical"]
+    message = ("parallel byte_identical=%s (committed %s)"
+               % (report["byte_identical"],
+                  committed["byte_identical"]))
+    cpus = os.cpu_count() or 1
+    if ok and cpus >= bench_parallel_speedup.MIN_HOST_CPUS \
+            and (committed.get("host_cpus") or 1) \
+            >= bench_parallel_speedup.MIN_HOST_CPUS:
+        floor = committed["best_speedup"] / SLACK
+        best = report["best_speedup"]
+        ok = best >= floor
+        message += (", smoke speedup %.2fx (committed best %.2fx, "
+                    "floor %.2fx)" % (best, committed["best_speedup"],
+                                      floor))
+    else:
+        message += (", speedup not guarded (host_cpus=%d, "
+                    "committed host_cpus=%s)"
+                    % (cpus, committed.get("host_cpus")))
+    return ok, message
+
+
 # -- pytest entry ---------------------------------------------------------------
 
 
@@ -122,12 +158,20 @@ def test_interp_speedup_has_not_regressed(results_dir):
     assert ok, message
 
 
+def test_parallel_backend_has_not_regressed(results_dir):
+    from conftest import write_result
+    ok, message = guard_parallel()
+    write_result(results_dir, "perf_guard_parallel.txt", message)
+    assert ok, message
+
+
 # -- script entry ----------------------------------------------------------------
 
 
 def main(argv=None):
     failures = 0
-    for guard in (guard_race, guard_attr, guard_interp):
+    for guard in (guard_race, guard_attr, guard_interp,
+                  guard_parallel):
         ok, message = guard()
         print(("PASS: " if ok else "FAIL: ") + message)
         failures += 0 if ok else 1

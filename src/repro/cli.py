@@ -110,6 +110,15 @@ def build_parser():
                      default="compiled",
                      help="interpreter engine: closure-compiled "
                      "(default) or the reference tree-walker")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="shard the RCCE cores across N host worker "
+                     "processes with Graphite-style relaxed clock "
+                     "sync; cycles and outputs stay byte-identical "
+                     "to --jobs 1 (see docs/performance.md)")
+    run.add_argument("--quantum", type=int, default=None,
+                     metavar="CYCLES",
+                     help="simulated cycles a shard may run between "
+                     "clock publications (--jobs only; default 50000)")
     run.add_argument("--faults", default=None, metavar="SPEC",
                      help="inject deterministic faults, e.g. "
                      "'mpb_flip:p=1e-6,seed=7;mesh_drop:p=1e-4' "
@@ -327,12 +336,24 @@ def cmd_run(args, out, err):
     faults = getattr(args, "faults", None)
     if faults:
         parse_fault_spec(faults)  # fail early, before any simulation
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        err.write("repro: --jobs must be a positive worker count "
+                  "(got %d)\n" % jobs)
+        return EXIT_USAGE
+    quantum = getattr(args, "quantum", None)
+    if quantum is not None and quantum < 1:
+        err.write("repro: --quantum must be a positive cycle count "
+                  "(got %d)\n" % quantum)
+        return EXIT_USAGE
     recover_on = getattr(args, "recover", False)
     max_restarts = getattr(args, "max_restarts", 0)
     checkpoint_every = getattr(args, "checkpoint_every", 0)
     restore = getattr(args, "restore", None)
     want_checkpoint = checkpoint_every > 0 or max_restarts > 0 \
         or getattr(args, "checkpoint", None) is not None
+    race_on = getattr(args, "race", False) \
+        or getattr(args, "race_report", None) is not None
     if (bool(faults) or want_checkpoint or restore is not None) \
             and args.engine == "compiled" \
             and getattr(args, "strict", False):
@@ -342,6 +363,24 @@ def cmd_run(args, out, err):
                   "with --engine tree or drop --strict\n"
                   % ("--faults" if faults else "checkpoint/restore"))
         return EXIT_USAGE
+    if jobs > 1 and getattr(args, "strict", False):
+        blocker = None
+        if faults:
+            blocker = "--faults"
+        elif recover_on or want_checkpoint or restore is not None:
+            blocker = "--recover/--checkpoint/--restore"
+        elif race_on:
+            blocker = "--race"
+        elif getattr(args, "trace", None):
+            blocker = "--trace"
+        elif getattr(args, "watchdog_timeout", None) is not None:
+            blocker = "--watchdog-timeout"
+        if blocker is not None:
+            err.write("repro: --jobs %d cannot honour %s: the "
+                      "feature needs the shared-world thread backend "
+                      "(verified cycle-identical); rerun without %s "
+                      "or drop --strict\n" % (jobs, blocker, blocker))
+            return EXIT_USAGE
     recovery = None
     if recover_on or want_checkpoint or restore is not None:
         recovery = RecoveryOptions(
@@ -357,11 +396,12 @@ def cmd_run(args, out, err):
         if getattr(args, "watchdog_timeout", None) is not None:
             watchdog = Watchdog(lock_timeout=args.watchdog_timeout,
                                 barrier_timeout=args.watchdog_timeout)
-        else:
+        elif jobs <= 1:
+            # with --jobs the coordinator's parked-rank timeout covers
+            # deadlock detection; a default watchdog would force the
+            # thread-backend downgrade for no extra safety
             watchdog = Watchdog()
     tracer = EventTracer() if getattr(args, "trace", None) else None
-    race_on = getattr(args, "race", False) \
-        or getattr(args, "race_report", None) is not None
     race_reports = {}
     snapshots = {}
     baseline = None
@@ -375,7 +415,8 @@ def cmd_run(args, out, err):
                                            max_steps=args.max_steps,
                                            engine=args.engine,
                                            faults=faults,
-                                           race=race_on)
+                                           race=race_on,
+                                           jobs=jobs)
         snapshots["pthread"] = baseline.metrics
         for diagnostic in baseline.diagnostics:
             err.write(diagnostic.format() + "\n")
@@ -387,14 +428,19 @@ def cmd_run(args, out, err):
                      baseline.stdout().strip().splitlines()[:1]))
     if args.mode in ("rcce", "compare"):
         if "RCCE_APP" in source:
-            from repro.cfront.frontend import parse_program
-            unit = parse_program(source)
+            if jobs > 1:
+                # the process backend needs the raw source so each
+                # worker can parse/compile its own replica
+                unit = source
+            else:
+                from repro.cfront.frontend import parse_program
+                unit = parse_program(source)
         else:
             framework = _framework(args)
             result = framework.translate(source)
             if _report_diagnostics(result, err):
                 return EXIT_PARSE
-            unit = result.unit
+            unit = result.rcce_source if jobs > 1 else result.unit
             if framework.profiler is not None:
                 out.write(framework.profiler.render() + "\n")
         if max_restarts > 0:
@@ -425,7 +471,7 @@ def cmd_run(args, out, err):
                 max_restarts=max_restarts,
                 chip_factory=chip_factory,
                 watchdog_factory=watchdog_factory,
-                race=race_on)
+                race=race_on, jobs=jobs, quantum=quantum)
             chip = chips[-1]
         else:
             chip = SCCChip(Table61Config())
@@ -436,7 +482,7 @@ def cmd_run(args, out, err):
                             max_steps=args.max_steps,
                             engine=args.engine, faults=faults,
                             watchdog=watchdog, recovery=recovery,
-                            race=race_on)
+                            race=race_on, jobs=jobs, quantum=quantum)
         snapshots["rcce"] = rcce.metrics
         for diagnostic in rcce.diagnostics:
             err.write(diagnostic.format() + "\n")

@@ -88,6 +88,7 @@ class RaceDetector:
         self._variables = VariableMap()
         self._shadow = ShadowMemory()
         self._flags = {}            # flag id -> VectorClock at write
+        self._conds = {}            # condvar key -> VectorClock at signal
         self._barriers = {}         # barrier key -> round state
         self._seen = set()          # finding dedup keys
         self.findings = []
@@ -250,6 +251,24 @@ class RaceDetector:
             flag_vc = self._flags.get(flag_id)
             if flag_vc is not None:
                 self._vc(tid).join(flag_vc)
+            self.sync_edges += 1
+
+    def cond_signal(self, tid, cond_id):
+        """A pthread_cond_signal/broadcast publishes the signaller's
+        clock (like a flag write: the waiter that consumes this signal
+        is ordered after everything the signaller did first)."""
+        with self._lock:
+            vc = self._vc(tid)
+            self._conds[cond_id] = vc.copy()
+            vc.tick(tid)
+            self.sync_edges += 1
+
+    def cond_wakeup(self, tid, cond_id):
+        """A woken pthread_cond_wait acquires the signaller's clock."""
+        with self._lock:
+            cond_vc = self._conds.get(cond_id)
+            if cond_vc is not None:
+                self._vc(tid).join(cond_vc)
             self.sync_edges += 1
 
     def channel_send(self, tid):

@@ -126,6 +126,12 @@ class Interpreter:
         # counts come from the chip's own per-core access counters,
         # which both engines already maintain identically
         self._attr = getattr(chip, "attribution", None)
+        # lax clock sync (repro.sim.parallel): a quantum hook fires at
+        # the next retire-batch boundary after ``cycles`` crosses
+        # ``_quantum_deadline``; None costs one attribute check per
+        # RETIRE_BATCH steps, keeping un-sharded runs byte-identical
+        self._quantum_hook = None
+        self._quantum_deadline = 0
 
         stack_segment = chip.address_space.alloc_private(
             core_id, STACK_BYTES, "stack-core%d" % core_id)
@@ -286,7 +292,13 @@ class Interpreter:
         """Flush one retire batch: cycles accumulated locally since the
         last batch boundary become a traced "retire_batch" span.  Both
         engines hit this every RETIRE_BATCH steps (the compiled
-        engine's closures inline the mask check and call here)."""
+        engine's closures inline the mask check and call here).  The
+        parallel backend's quantum checkpoint also anchors here: the
+        hook publishes this core's clock (never blocking) and returns
+        the next quantum deadline."""
+        hook = self._quantum_hook
+        if hook is not None and self.cycles >= self._quantum_deadline:
+            self._quantum_deadline = hook(self)
         events = self.chip.events
         if events.enabled:
             events.complete(

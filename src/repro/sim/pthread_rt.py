@@ -11,6 +11,20 @@ overhead at the end (:meth:`scheduling_overhead_cycles`).
 
 Mutexes are uncontended under serial execution: lock/unlock charge
 their syscall-ish cost, semantics are preserved trivially.
+
+Condition variables under serial execution: signals are *counted* (a
+``pthread_cond_signal`` deposits one wakeup, ``broadcast`` deposits
+unboundedly many), and a ``pthread_cond_wait`` that finds no deposit
+runs other not-yet-started threads — in creation order — until one
+deposits a signal.  When every other thread has already run to
+completion and the deposit never arrives, the wait can never be
+satisfied and the runtime raises
+:class:`~repro.sim.watchdog.DeadlockError` with the rendered wait
+chain, exactly like the watchdog's lock wait-for graph.  Note one
+deliberate divergence from the POSIX race: a signal sent before the
+wait is *not* lost here — serial execution cannot reproduce lost-wakeup
+interleavings, so the model errs toward progress and leaves
+missed-signal hangs to the case where no signaller exists at all.
 """
 
 from repro.sim.interpreter import ThreadExit
@@ -19,6 +33,7 @@ from repro.sim.values import FunctionRef, Pointer
 THREAD_CREATE_COST = 6000   # clone + setup on a P54C-class core
 THREAD_JOIN_COST = 2000
 MUTEX_OP_COST = 60
+COND_WAIT_COST = 120        # futex-style sleep + requeue, two syscalls
 
 
 class ThreadRecord:
@@ -45,13 +60,16 @@ class PthreadRuntime:
     evaluation (and cycle charging) happens under both engines.
     """
 
-    __slots__ = ("threads", "order", "_next_tid", "_current_tid")
+    __slots__ = ("threads", "order", "_next_tid", "_current_tid",
+                 "_cond_pending", "_blocked_on")
 
     def __init__(self):
         self.threads = {}
         self.order = []
         self._next_tid = 1000
         self._current_tid = [0]  # stack; 0 = main thread
+        self._cond_pending = {}  # condvar key -> deposited wakeups
+        self._blocked_on = {}    # tid -> condvar key while waiting
 
     # -- builtin registry ---------------------------------------------------
 
@@ -66,6 +84,12 @@ class PthreadRuntime:
             "pthread_mutex_lock": self._mutex_lock,
             "pthread_mutex_unlock": self._mutex_unlock,
             "pthread_mutex_trylock": self._mutex_lock,
+            "pthread_cond_init": self._mutex_op,
+            "pthread_cond_destroy": self._mutex_op,
+            "pthread_cond_wait": self._cond_wait,
+            "pthread_cond_timedwait": self._cond_wait,
+            "pthread_cond_signal": self._cond_signal,
+            "pthread_cond_broadcast": self._cond_broadcast,
             "pthread_attr_init": self._noop,
             "pthread_attr_destroy": self._noop,
             "pthread_detach": self._noop,
@@ -206,6 +230,94 @@ class PthreadRuntime:
                               self._mutex_key(values[0]))
         return 0
 
+    # -- condition variables ---------------------------------------------------
+
+    @staticmethod
+    def _cond_key(value):
+        """Condvars are keyed by the variable's address, like mutexes."""
+        if isinstance(value, Pointer):
+            return ("cond", value.addr)
+        try:
+            return ("cond", int(value))
+        except (TypeError, ValueError):
+            return ("cond", id(value))
+
+    def _cond_signal(self, interp, arg_nodes):
+        values = [interp.eval_expr(node) for node in arg_nodes]
+        interp.charge(MUTEX_OP_COST)
+        if not values:
+            return 22  # EINVAL
+        key = self._cond_key(values[0])
+        pending = self._cond_pending.get(key, 0)
+        if pending != float("inf"):
+            self._cond_pending[key] = pending + 1
+        race = interp._race
+        if race is not None:
+            race.cond_signal(self._current_tid[-1], key)
+        return 0
+
+    def _cond_broadcast(self, interp, arg_nodes):
+        values = [interp.eval_expr(node) for node in arg_nodes]
+        interp.charge(MUTEX_OP_COST)
+        if not values:
+            return 22
+        key = self._cond_key(values[0])
+        self._cond_pending[key] = float("inf")
+        race = interp._race
+        if race is not None:
+            race.cond_signal(self._current_tid[-1], key)
+        return 0
+
+    def _cond_wait(self, interp, arg_nodes):
+        values = [interp.eval_expr(node) for node in arg_nodes]
+        interp.charge(COND_WAIT_COST)
+        if interp._attr is not None:
+            interp._attr.add(interp.core_id, "sched_overhead",
+                             COND_WAIT_COST)
+        if len(values) < 2:
+            return 22
+        key = self._cond_key(values[0])
+        mutex_key = self._mutex_key(values[1])
+        tid = self._current_tid[-1]
+        race = interp._race
+        if race is not None:
+            # the wait atomically drops the mutex before sleeping
+            race.lock_release(tid, mutex_key)
+        self._blocked_on[tid] = key
+        # on DeadlockError the entry stays put: state_dump() reports
+        # the parked waiter in the post-mortem
+        while not self._cond_pending.get(key, 0):
+            if not self._run_next_runnable(interp):
+                from repro.sim.watchdog import DeadlockError
+                raise DeadlockError(
+                    self._render_cond_deadlock(key),
+                    cycle=[(tid, key)])
+        self._blocked_on.pop(tid, None)
+        pending = self._cond_pending[key]
+        if pending != float("inf"):
+            self._cond_pending[key] = pending - 1
+        if race is not None:
+            race.cond_wakeup(tid, key)
+            race.lock_acquire(tid, mutex_key)
+        return 0
+
+    def _run_next_runnable(self, interp):
+        """Run the next created-but-not-yet-started thread to
+        completion (creation order); False when none remains."""
+        for record in self.order:
+            if not record.finished:
+                self._run_thread(interp, record)
+                return True
+        return False
+
+    def _render_cond_deadlock(self, key):
+        waiters = sorted(tid for tid, blocked
+                         in self._blocked_on.items() if blocked == key)
+        chain = " -> ".join("thread %s waits on condvar %s"
+                            % (tid, key[1]) for tid in waiters)
+        return ("deadlock detected in the condvar wait-for graph: %s "
+                "-> no runnable thread left to signal it" % chain)
+
     def _noop(self, interp, arg_nodes):
         for node in arg_nodes:
             interp.eval_expr(node)
@@ -218,7 +330,8 @@ class PthreadRuntime:
         when the single-core baseline blows its step budget: which
         simulated threads exist, which finished, and what each cost."""
         return [{"tid": record.tid, "function": record.func_name,
-                 "finished": record.completed, "cycles": record.cycles}
+                 "finished": record.completed, "cycles": record.cycles,
+                 "blocked_on": self._blocked_on.get(record.tid)}
                 for record in self.order]
 
     # -- scheduling overhead ---------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.faults import CoreCrashFault, FaultInjector
 from repro.obs.attribution import AttributionEngine
 from repro.race import RaceDetector
 from repro.rcce.api import RCCEWorld
+from repro.rcce.sync import SkewBarrier
 from repro.recovery import (
     CheckpointManager,
     ECCScrubber,
@@ -200,6 +201,68 @@ def _resolve_engine(engine, injector, checkpointed=False):
         "cycle-identical)" % " and ".join(reasons))
 
 
+def _resolve_parallel_backend(backend, jobs, program, injector,
+                              detector, attr, recovery, watchdog,
+                              chip):
+    """Pick the parallel backend actually used for ``jobs > 1``;
+    returns ``(backend, warning)``.
+
+    The process backend shards chip replicas across worker processes,
+    so every feature that needs one shared live world — fault
+    injection, the race detector, cycle attribution, recovery,
+    the watchdog's wait-for graph, event tracing — and pre-parsed
+    program units (workers re-parse source) force the shared-world
+    *thread* backend instead.  Like engine downgrades, this happens
+    loudly: a warning :class:`Diagnostic` the CLI prints (and refuses
+    under ``--strict``), never silently."""
+    if jobs <= 1:
+        return "none", None
+    if backend not in ("process", "thread"):
+        raise ValueError("unknown parallel backend %r" % (backend,))
+    if backend == "thread":
+        return "thread", None
+    reasons = []
+    if not isinstance(program, str):
+        reasons.append("a pre-parsed program unit")
+    if injector is not None:
+        reasons.append("fault injection")
+    if detector is not None:
+        reasons.append("race detection")
+    if attr is not None:
+        reasons.append("cycle attribution")
+    if recovery is not None:
+        reasons.append("recovery")
+    if watchdog is not None:
+        reasons.append("the watchdog")
+    if chip.events.enabled:
+        reasons.append("event tracing")
+    if not reasons:
+        return "process", None
+    return "thread", Diagnostic.warning(
+        "simulate",
+        "jobs=%d requested but %s requires the shared-world thread "
+        "backend; running with backend 'thread' (verified "
+        "cycle-identical)" % (jobs, " and ".join(reasons)))
+
+
+def _install_quantum_hook(interp, skew, shard, chip):
+    """Thread-backend lax sync: publish this interpreter's clock at
+    every quantum boundary.  Bookkeeping only — cycles are untouched,
+    so runs stay byte-identical for any quantum."""
+    events = chip.events
+
+    def hook(i, _skew=skew, _shard=shard, _events=events,
+             _pid=chip.trace_pid):
+        deadline = _skew.note_quantum(_shard, i.cycles)
+        if _events.enabled:
+            _events.instant(i.core_id, i.cycles, "quantum_sync",
+                            "parallel", {"shard": _shard}, pid=_pid)
+        return deadline
+
+    interp._quantum_hook = hook
+    interp._quantum_deadline = skew.quantum
+
+
 def _timeout_from(exc, interpreters, ranks=None):
     """Convert a step-budget overrun into a SimulationTimeout carrying
     per-core state dumps; attach dumps to watchdog errors too."""
@@ -215,7 +278,8 @@ def _timeout_from(exc, interpreters, ranks=None):
 
 def run_pthread_single_core(program, config=None, chip=None, core=0,
                             max_steps=200_000_000, engine="compiled",
-                            faults=None, race=None, attribution=None):
+                            faults=None, race=None, attribution=None,
+                            jobs=1):
     """Run a Pthreads program with all threads on one core."""
     unit = _as_unit(program)
     config = config or Table61Config()
@@ -224,6 +288,17 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
     detector = _as_detector(race)
     attr = _as_attribution(attribution)
     engine, downgrade = _resolve_engine(engine, injector)
+    diagnostics = [downgrade] if downgrade is not None else []
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs > 1:
+        # the paper's baseline time-slices every thread on ONE core —
+        # there is nothing to shard; decline loudly, never silently
+        diagnostics.append(Diagnostic.warning(
+            "simulate",
+            "jobs=%d requested but the pthread baseline time-slices "
+            "all threads on a single core; running sequentially"
+            % jobs))
     if injector is not None:
         injector.attach(chip)
     if detector is not None:
@@ -274,7 +349,7 @@ def run_pthread_single_core(program, config=None, chip=None, core=0,
             "cache": chip.cache_stats(core),
         },
         metrics=metrics,
-        diagnostics=[downgrade] if downgrade is not None else None)
+        diagnostics=diagnostics)
     if detector is not None:
         result.race = detector.report()
         result.diagnostics.extend(result.race.diagnostics())
@@ -303,11 +378,24 @@ class _CoreError:
 
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
              max_steps=200_000_000, engine="compiled", faults=None,
-             watchdog=None, recovery=None, race=None, attribution=None):
-    """Run a translated RCCE program on ``num_ues`` simulated cores."""
+             watchdog=None, recovery=None, race=None, attribution=None,
+             jobs=1, quantum=None, parallel_backend="process"):
+    """Run a translated RCCE program on ``num_ues`` simulated cores.
+
+    ``jobs > 1`` shards the simulated cores over host workers with
+    Graphite-style lax clock sync (see ``repro.sim.parallel``):
+    processes under the default ``parallel_backend="process"`` — or
+    host threads (``"thread"``), which every feature composes with and
+    which incompatible-feature runs downgrade to, loudly.  ``quantum``
+    is the lax-sync reconciliation interval in simulated cycles.
+    Cycles and outputs are byte-identical to ``jobs=1`` for any shard
+    count and any quantum.
+    """
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     injector = _as_injector(faults)
     detector = _as_detector(race)
     attr = _as_attribution(attribution)
@@ -316,6 +404,29 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     checkpointed = recovery is not None and recovery.checkpointed
     engine, downgrade = _resolve_engine(engine, injector, checkpointed)
     diagnostics = [downgrade] if downgrade is not None else []
+    backend, parallel_downgrade = _resolve_parallel_backend(
+        parallel_backend, jobs, program, injector, detector, attr,
+        recovery, watchdog, chip)
+    if parallel_downgrade is not None:
+        diagnostics.append(parallel_downgrade)
+    if backend == "process":
+        # nothing below composes with sharded worker processes (that
+        # is exactly what _resolve_parallel_backend just checked), so
+        # hand the whole run to the process backend; the parse above
+        # already surfaced any front-end error in this process
+        from repro.sim.parallel import run_rcce_parallel
+        return run_rcce_parallel(program, num_ues, config, chip,
+                                 core_map, max_steps, engine, jobs,
+                                 quantum=quantum,
+                                 diagnostics=diagnostics)
+    plan = skew = None
+    if backend == "thread":
+        from repro.sim.parallel import ShardPlan, parallel_collector
+        plan = ShardPlan(num_ues, jobs)
+        skew = SkewBarrier(plan.jobs,
+                           quantum or SkewBarrier.DEFAULT_QUANTUM)
+        chip.metrics.register_collector(
+            "sim.parallel", parallel_collector(skew, plan.jobs))
     if injector is not None:
         injector.attach(chip)
     if detector is not None:
@@ -376,6 +487,9 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
                 for hook in _hooks:
                     hook(round_id)
             world.barrier.on_round = barrier_round
+    if skew is not None:
+        # after the recovery hooks: bind() chains, preserving them
+        skew.bind(world.barrier, plan.shard_of.__getitem__)
 
     def core_main(rank):
         try:
@@ -384,6 +498,9 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
                                  runtime, max_steps, engine=engine)
             ranks[interp.core_id] = rank
             interpreters.append(interp)
+            if skew is not None:
+                _install_quantum_hook(interp, skew,
+                                      plan.shard_of[rank], chip)
             try:
                 interp.run_main()
             except ThreadExit:
@@ -438,17 +555,21 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     outputs = []
     for interp in sorted(interpreters, key=lambda i: i.core_id):
         outputs.extend(interp.output)
+    stats = {
+        "num_ues": num_ues,
+        "barrier_rounds": world.barrier.rounds,
+        "mpb_fallbacks": world.mpb_fallbacks,
+        "controllers": {index: (stats.reads, stats.writes)
+                        for index, stats
+                        in chip.controller_stats().items()},
+    }
+    if skew is not None:
+        from repro.sim.parallel import parallel_stats
+        stats["parallel"] = parallel_stats("thread", skew, plan.jobs)
     result = RunResult(
         total, config, outputs,
         per_core_cycles=per_core,
-        stats={
-            "num_ues": num_ues,
-            "barrier_rounds": world.barrier.rounds,
-            "mpb_fallbacks": world.mpb_fallbacks,
-            "controllers": {index: (stats.reads, stats.writes)
-                            for index, stats
-                            in chip.controller_stats().items()},
-        },
+        stats=stats,
         metrics=metrics,
         diagnostics=diagnostics)
     if detector is not None:
@@ -464,7 +585,8 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                         max_steps=200_000_000, engine="compiled",
                         faults=None, recovery=None, max_restarts=1,
                         chip_factory=None, watchdog_factory=None,
-                        race=None, attribution=None):
+                        race=None, attribution=None, jobs=1,
+                        quantum=None):
     """Run an RCCE program under a restarting supervisor.
 
     The run checkpoints at barrier rounds
@@ -509,7 +631,8 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                 program, num_ues, config=config, chip=chip,
                 core_map=core_map, max_steps=max_steps, engine=engine,
                 faults=injector, watchdog=watchdog, recovery=options,
-                race=attempt_race, attribution=attribution)
+                race=attempt_race, attribution=attribution,
+                jobs=jobs, quantum=quantum)
         except RESTARTABLE_ERRORS as exc:
             if attempt >= max_restarts:
                 exc.recovery_report = report

@@ -1,0 +1,39 @@
+#include <stdio.h>
+#include <pthread.h>
+
+/* Missed-signal hang: the worker sleeps on `cond` before main ever
+ * signals, and main only signals AFTER joining the worker — so the
+ * wakeup can never arrive.  The serial runtime must detect that no
+ * runnable thread can deposit the signal and raise DeadlockError
+ * instead of hanging the host. */
+
+pthread_mutex_t lock;
+pthread_cond_t cond;
+int ready = 0;
+
+void *waiter(void *arg)
+{
+    pthread_mutex_lock(&lock);
+    while (!ready)
+    {
+        pthread_cond_wait(&cond, &lock);
+    }
+    pthread_mutex_unlock(&lock);
+    return (void *)0;
+}
+
+int main(int argc, char **argv)
+{
+    pthread_t tid;
+    pthread_mutex_init(&lock, 0);
+    pthread_cond_init(&cond, 0);
+    pthread_create(&tid, 0, waiter, (void *)0);
+    pthread_join(tid, 0);
+    /* too late: the waiter is already parked forever */
+    pthread_mutex_lock(&lock);
+    ready = 1;
+    pthread_cond_signal(&cond);
+    pthread_mutex_unlock(&lock);
+    printf("unreachable\n");
+    return 0;
+}

@@ -472,6 +472,92 @@ def test_attribution_is_cycle_invisible_rcce(engine):
     assert on == off
 
 
+# -- parallel backend: sharding must never move a cycle -----------------------
+#
+# The contract (docs/performance.md): cycles, per-core cycles, and
+# program stdout are byte-identical for every worker count and every
+# quantum length.  Metrics are NOT part of the contract — histogram
+# bucketing of host-side wait times is nondeterministic even
+# sequentially — so these signatures deliberately exclude them.
+
+_PARALLEL_SOURCES = {}
+_PARALLEL_BASELINES = {}
+
+
+def _parallel_source(name):
+    """Translated RCCE source for a scaled workload (the process
+    backend replicates the program from source in each worker)."""
+    if name not in _PARALLEL_SOURCES:
+        from repro.bench.harness import SCALED_ON_CHIP_CAPACITY
+        framework = TranslationFramework(
+            on_chip_capacity=SCALED_ON_CHIP_CAPACITY,
+            partition_policy="size")
+        workload = _SMALL_WORKLOADS[name]
+        _PARALLEL_SOURCES[name] = framework.translate(
+            benchmark_source(name, 4, **workload.sizes)).rcce_source
+    return _PARALLEL_SOURCES[name]
+
+
+def _parallel_signature(result):
+    return (result.cycles, dict(result.per_core_cycles),
+            result.stdout())
+
+
+def _parallel_baseline(name):
+    """jobs=1 run of the same source string, cached per workload."""
+    if name not in _PARALLEL_BASELINES:
+        chip = _tiny_chip()
+        result = run_rcce(_parallel_source(name), 4, chip.config, chip,
+                          max_steps=50_000_000)
+        _PARALLEL_BASELINES[name] = _parallel_signature(result)
+    return _PARALLEL_BASELINES[name]
+
+
+@pytest.mark.parametrize("jobs", [2, 4, 8])
+@pytest.mark.parametrize("name", sorted(_SMALL_WORKLOADS))
+def test_process_backend_matches_sequential(name, jobs):
+    """The process backend is byte-identical to the sequential engine
+    for every shard count (jobs > num_ues clamps to num_ues)."""
+    chip = _tiny_chip()
+    result = run_rcce(_parallel_source(name), 4, chip.config, chip,
+                      max_steps=50_000_000, jobs=jobs)
+    assert _parallel_signature(result) == _parallel_baseline(name)
+    assert result.stats["parallel"]["backend"] == "process"
+
+
+@pytest.mark.parametrize("quantum", [1_000, 50_000, 10_000_000])
+def test_process_backend_quantum_invariant(quantum):
+    """The quantum is a non-blocking publication deadline, never a
+    barrier — its length cannot change a single cycle."""
+    chip = _tiny_chip()
+    result = run_rcce(_parallel_source("dot"), 4, chip.config, chip,
+                      max_steps=50_000_000, jobs=2, quantum=quantum)
+    assert _parallel_signature(result) == _parallel_baseline("dot")
+    assert result.stats["parallel"]["quantum"] == quantum
+
+
+@given(name=st.sampled_from(sorted(_SMALL_WORKLOADS)),
+       jobs=st.integers(1, 8),
+       quantum=st.sampled_from([1_000, 7_919, 50_000, 1_000_000]))
+@settings(max_examples=12, deadline=None)
+def test_parallel_invariance_property(name, jobs, quantum):
+    """Property (ISSUE 7 satellite): no (jobs, quantum) point changes
+    cycles, outputs, or attribution conservation.  Attribution forces
+    the thread backend, so this also pins the downgrade path and the
+    SkewBarrier bookkeeping it shares with the process backend."""
+    chip = _tiny_chip()
+    result = run_rcce(_parallel_source(name), 4, chip.config, chip,
+                      max_steps=50_000_000, jobs=jobs, quantum=quantum,
+                      attribution=True)
+    assert _parallel_signature(result) == _parallel_baseline(name)
+    for core, classes in result.attribution.per_core.items():
+        assert sum(classes.values()) == result.per_core_cycles[core]
+    if jobs > 1:
+        assert result.stats["parallel"]["backend"] == "thread"
+        assert any("thread backend" in diagnostic.format()
+                   for diagnostic in result.diagnostics)
+
+
 def test_attribution_identical_across_engines():
     """Enabled-mode parity: both engines must produce the same
     attribution breakdown, the same per-core memory-op counts, and the

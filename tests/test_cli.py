@@ -337,6 +337,66 @@ class TestRecoveryFlags:
              "--restore", str(tmp_path / "absent.ckpt")])
         assert code == 66
 
+class TestParallelFlags:
+    def test_jobs_zero_exits_2(self, example_file):
+        code, _, err = run_cli_err(["run", example_file,
+                                    "--jobs", "0"])
+        assert code == 2
+        assert "--jobs" in err
+
+    def test_jobs_negative_exits_2(self, example_file):
+        code, _, err = run_cli_err(["run", example_file,
+                                    "--jobs", "-2"])
+        assert code == 2
+
+    def test_quantum_zero_exits_2(self, example_file):
+        code, _, err = run_cli_err(["run", example_file,
+                                    "--jobs", "2", "--quantum", "0"])
+        assert code == 2
+        assert "--quantum" in err
+
+    def test_jobs_output_is_byte_identical(self, example_file):
+        sequential = run_cli(["run", example_file, "--ues", "3"])
+        parallel = run_cli(["run", example_file, "--ues", "3",
+                            "--jobs", "2"])
+        assert parallel == sequential
+
+    def test_incompatible_feature_warns_without_strict(
+            self, example_file):
+        code, _, err = run_cli_err(
+            ["run", example_file, "--mode", "rcce", "--ues", "2",
+             "--jobs", "2", "--race"])
+        assert code == 0
+        assert "warning" in err
+        assert "thread backend" in err
+
+    def test_incompatible_feature_exits_2_under_strict(
+            self, example_file):
+        code, _, err = run_cli_err(
+            ["run", example_file, "--mode", "rcce", "--ues", "2",
+             "--jobs", "2", "--race", "--strict"])
+        assert code == 2
+        assert "--race" in err
+
+    def test_native_program_runs_sharded(self, tmp_path):
+        path = tmp_path / "native.c"
+        path.write_text("""
+        #include <stdio.h>
+        #include <RCCE.h>
+        int RCCE_APP(int argc, char **argv) {
+            RCCE_init(&argc, &argv);
+            printf("ue %d\\n", RCCE_ue());
+            return 0;
+        }
+        """)
+        sequential = run_cli(["run", str(path), "--mode", "rcce",
+                              "--ues", "4"])
+        parallel = run_cli(["run", str(path), "--mode", "rcce",
+                            "--ues", "4", "--jobs", "2"])
+        assert parallel == sequential
+        assert parallel[0] == 0
+
+
 FIXTURES = __import__("os").path.join(
     __import__("os").path.dirname(__file__), "fixtures")
 
