@@ -51,6 +51,16 @@ def _committed(name):
         return json.load(handle)
 
 
+def _host_cpus():
+    return os.cpu_count() or 1
+
+
+def _host_note():
+    """Every guard report pins the host parallelism it measured on —
+    a number that looks regressed is meaningless without it."""
+    return " [host_cpus=%d]" % _host_cpus()
+
+
 def _geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -74,7 +84,8 @@ def guard_race():
     bound = committed["ratio"] * SLACK
     ok = ratio <= bound
     return ok, ("race disabled-mode ratio %.3f (committed %.3f, "
-                "bound %.3f)" % (ratio, committed["ratio"], bound))
+                "bound %.3f)" % (ratio, committed["ratio"], bound)
+                + _host_note())
 
 
 def guard_attr():
@@ -84,7 +95,7 @@ def guard_attr():
     ok = current["ratio"] <= bound
     return ok, ("attr enabled-mode ratio %.3f (committed %.3f, "
                 "bound %.3f)" % (current["ratio"], committed["ratio"],
-                                 bound))
+                                 bound) + _host_note())
 
 
 def guard_interp():
@@ -101,7 +112,8 @@ def guard_interp():
     ok = identical and speedup >= floor
     return ok, ("interp smoke speedup %.2fx (committed subset "
                 "geomean %.2fx, floor %.2fx, cycles_identical=%s)"
-                % (speedup, committed, floor, identical))
+                % (speedup, committed, floor, identical)
+                + _host_note())
 
 
 def guard_parallel():
@@ -117,21 +129,32 @@ def guard_parallel():
     message = ("parallel byte_identical=%s (committed %s)"
                % (report["byte_identical"],
                   committed["byte_identical"]))
-    cpus = os.cpu_count() or 1
-    if ok and cpus >= bench_parallel_speedup.MIN_HOST_CPUS \
-            and (committed.get("host_cpus") or 1) \
-            >= bench_parallel_speedup.MIN_HOST_CPUS:
+    cpus = _host_cpus()
+    minimum = bench_parallel_speedup.MIN_HOST_CPUS
+    committed_cpus = committed.get("host_cpus") or 1
+    if ok and cpus >= minimum and committed_cpus >= minimum:
         floor = committed["best_speedup"] / SLACK
         best = report["best_speedup"]
         ok = best >= floor
         message += (", smoke speedup %.2fx (committed best %.2fx, "
                     "floor %.2fx)" % (best, committed["best_speedup"],
                                       floor))
-    else:
-        message += (", speedup not guarded (host_cpus=%d, "
-                    "committed host_cpus=%s)"
-                    % (cpus, committed.get("host_cpus")))
-    return ok, message
+    elif ok:
+        # the skip must say exactly what was not checked and why: a
+        # green guard on a small runner must not read as "speedup OK"
+        reasons = []
+        if cpus < minimum:
+            reasons.append("this host has %d CPU(s) < %d"
+                           % (cpus, minimum))
+        if committed_cpus < minimum:
+            reasons.append("the committed report was measured on "
+                           "%s CPU(s) < %d" % (committed_cpus,
+                                               minimum))
+        message += (", SKIPPED speedup floor %.2fx/%.2f: "
+                    % (committed["best_speedup"], SLACK)
+                    + " and ".join(reasons)
+                    + " (byte-identity was still guarded)")
+    return ok, message + _host_note()
 
 
 # -- pytest entry ---------------------------------------------------------------

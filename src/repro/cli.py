@@ -21,7 +21,11 @@ from repro.bench.harness import ExperimentHarness
 from repro.cfront.errors import CFrontError
 from repro.core.framework import TranslationFramework
 from repro.core.reports import format_table, table_4_1, table_4_2
-from repro.faults import FaultSpecError, parse_fault_spec
+from repro.faults import (
+    FaultSpecError,
+    HostFaultPlan,
+    parse_fault_spec,
+)
 from repro.obs.export import write_chrome_trace, write_metrics_json
 from repro.obs.profile import PipelineProfiler
 from repro.obs.tracer import EventTracer
@@ -163,6 +167,24 @@ def build_parser():
                      metavar="SECONDS",
                      help="wall-clock bound for any single lock or "
                      "barrier wait (default: 30s locks, 600s barriers)")
+    run.add_argument("--chaos", default=None, metavar="SPEC",
+                     help="inject deterministic host-level faults "
+                     "into the --jobs worker processes, e.g. "
+                     "'worker_kill:at_tick=3,seed=7;"
+                     "ipc_delay:seconds=0.001' (kinds: worker_kill, "
+                     "worker_stall, ipc_delay; see "
+                     "docs/robustness.md)")
+    run.add_argument("--shard-restarts", type=int, default=2,
+                     metavar="N",
+                     help="respawn a dead or stalled --jobs worker "
+                     "up to N times per shard, replaying it to its "
+                     "crash point (default 2; 0 disables shard "
+                     "supervision)")
+    run.add_argument("--heartbeat-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="declare a --jobs worker stalled (and "
+                     "respawn it) after this much wall-clock silence "
+                     "(default 30s)")
     _framework_args(run)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
@@ -346,6 +368,24 @@ def cmd_run(args, out, err):
         err.write("repro: --quantum must be a positive cycle count "
                   "(got %d)\n" % quantum)
         return EXIT_USAGE
+    chaos = getattr(args, "chaos", None) or None
+    if chaos is not None:
+        try:
+            # host-only validation up front: a chip-level kind in
+            # --chaos is a usage error, not a simulation failure
+            HostFaultPlan(chaos)
+        except FaultSpecError as exc:
+            return _fail(err, EXIT_USAGE, "bad --chaos spec", exc)
+    shard_restarts = getattr(args, "shard_restarts", 2)
+    if shard_restarts < 0:
+        err.write("repro: --shard-restarts must be >= 0 (got %d)\n"
+                  % shard_restarts)
+        return EXIT_USAGE
+    heartbeat_timeout = getattr(args, "heartbeat_timeout", None)
+    if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+        err.write("repro: --heartbeat-timeout must be positive "
+                  "(got %g)\n" % heartbeat_timeout)
+        return EXIT_USAGE
     recover_on = getattr(args, "recover", False)
     max_restarts = getattr(args, "max_restarts", 0)
     checkpoint_every = getattr(args, "checkpoint_every", 0)
@@ -373,8 +413,6 @@ def cmd_run(args, out, err):
             blocker = "--race"
         elif getattr(args, "trace", None):
             blocker = "--trace"
-        elif getattr(args, "watchdog_timeout", None) is not None:
-            blocker = "--watchdog-timeout"
         if blocker is not None:
             err.write("repro: --jobs %d cannot honour %s: the "
                       "feature needs the shared-world thread backend "
@@ -393,13 +431,13 @@ def cmd_run(args, out, err):
     watchdog = None
     if args.mode in ("rcce", "compare") and \
             not getattr(args, "no_watchdog", False):
+        # the watchdog no longer forces the thread backend: the
+        # parallel coordinator maps its lock/barrier timeouts onto
+        # the parked-rank and wall-clock supervision bounds
         if getattr(args, "watchdog_timeout", None) is not None:
             watchdog = Watchdog(lock_timeout=args.watchdog_timeout,
                                 barrier_timeout=args.watchdog_timeout)
-        elif jobs <= 1:
-            # with --jobs the coordinator's parked-rank timeout covers
-            # deadlock detection; a default watchdog would force the
-            # thread-backend downgrade for no extra safety
+        else:
             watchdog = Watchdog()
     tracer = EventTracer() if getattr(args, "trace", None) else None
     race_reports = {}
@@ -471,7 +509,9 @@ def cmd_run(args, out, err):
                 max_restarts=max_restarts,
                 chip_factory=chip_factory,
                 watchdog_factory=watchdog_factory,
-                race=race_on, jobs=jobs, quantum=quantum)
+                race=race_on, jobs=jobs, quantum=quantum,
+                shard_restarts=shard_restarts,
+                heartbeat_timeout=heartbeat_timeout)
             chip = chips[-1]
         else:
             chip = SCCChip(Table61Config())
@@ -482,10 +522,24 @@ def cmd_run(args, out, err):
                             max_steps=args.max_steps,
                             engine=args.engine, faults=faults,
                             watchdog=watchdog, recovery=recovery,
-                            race=race_on, jobs=jobs, quantum=quantum)
+                            race=race_on, jobs=jobs, quantum=quantum,
+                            chaos=chaos,
+                            shard_restarts=shard_restarts,
+                            heartbeat_timeout=heartbeat_timeout)
         snapshots["rcce"] = rcce.metrics
         for diagnostic in rcce.diagnostics:
             err.write(diagnostic.format() + "\n")
+        if getattr(args, "strict", False) and any(
+                "degraded to the thread backend" in d.message
+                for d in rcce.diagnostics if d.severity == "warning"):
+            # the process backend's restart budget ran out mid-run;
+            # the graceful thread-backend rerun succeeded, but under
+            # --strict a silent backend swap is a usage failure
+            err.write("repro: --strict: --jobs %d degraded to the "
+                      "thread backend after exhausting its shard "
+                      "restart budget; raise --shard-restarts or "
+                      "drop --strict\n" % jobs)
+            return EXIT_USAGE
         if rcce.race is not None:
             race_reports["rcce"] = rcce.race
             out.write(rcce.race.render().splitlines()[0] + "\n")

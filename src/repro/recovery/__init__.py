@@ -22,6 +22,7 @@ from repro.recovery.checkpoint import (  # noqa: F401
     SNAPSHOT_VERSION,
     CheckpointManager,
     ReplayVerifier,
+    ShardCheckpoint,
     Snapshot,
     SnapshotDivergenceError,
     SnapshotError,

@@ -43,10 +43,30 @@ first place — this release/acquire shipping delivers exactly the
 values the sequential run would read.  Racy programs should run under
 the race detector, which (like every other incompatible feature)
 forces a loud downgrade to the shared-world thread backend.
+
+**Fault tolerance.**  The coordinator supervises its workers: every
+control-pipe message is a heartbeat, worker process exit (EOF without
+a reported simulated error) raises :class:`~repro.sim.watchdog.
+WorkerDeathError`, and heartbeat silence while a shard still has
+runnable ranks raises :class:`~repro.sim.watchdog.WorkerStallError`.
+A dead shard is respawned with exponential backoff under a bounded
+restart budget and recovered by **verified replay** (see
+:class:`~repro.recovery.checkpoint.ShardCheckpoint`): the coordinator
+records every reply it sends per rank, serves the recorded sequence
+to the respawned worker's deterministic re-execution without touching
+the live sync state machine, suppresses the re-produced shared-write
+deltas against per-rank cursors, and hash-verifies the replayed
+prefix.  Recovered runs remain byte-identical to the sequential
+engine.  Deterministic host-level chaos (``worker_kill`` /
+``worker_stall`` / ``ipc_delay``) comes from
+:class:`repro.faults.HostFaultPlan`; an exhausted restart budget
+raises :class:`~repro.sim.watchdog.ShardRestartsExhaustedError`,
+which ``run_rcce`` converts into a graceful thread-backend downgrade.
 """
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import pickle
 import threading
 import time
@@ -54,11 +74,14 @@ import traceback
 
 from collections import deque
 
+from repro.faults import HostFaultPlan
 from repro.scc.chip import SCCChip
 from repro.scc.memmap import SHARED_BASE
 from repro.rcce.api import RCCEWorld
 from repro.rcce.comm import CommDeadlockError
 from repro.rcce.sync import SkewBarrier
+from repro.recovery.checkpoint import ShardCheckpoint
+from repro.recovery.supervisor import RecoveryReport
 from repro.sim.interpreter import (
     Interpreter,
     InterpreterError,
@@ -68,8 +91,11 @@ from repro.sim.interpreter import (
 from repro.sim.machine import Memory
 from repro.sim.watchdog import (
     BarrierAbortedError,
+    ShardRestartsExhaustedError,
     SimulationTimeout,
     WatchdogError,
+    WorkerDeathError,
+    WorkerStallError,
     core_dumps,
 )
 
@@ -77,14 +103,47 @@ __all__ = ["ShardMemory", "ShardPlan", "ParallelRunError",
            "parallel_collector", "parallel_stats",
            "run_rcce_parallel"]
 
-# Wall-clock bounds enforced by the coordinator (there is no per-worker
-# watchdog: the coordinator sees every sync wait, so it substitutes).
+# Wall-clock bounds enforced by the coordinator (the coordinator IS
+# the parallel run's watchdog: it sees every sync wait and every
+# heartbeat, so the sequential watchdog's lock/barrier timeouts map
+# onto these bounds).
 # ``PARKED_TIMEOUT``: every unfinished rank is parked at a sync point
 # and nothing has moved — the simulated program is deadlocked.
 # ``WALL_TIMEOUT``: nothing at all has moved (not even quantum ticks)
 # — a worker died silently or is wedged.
+# ``HEARTBEAT_TIMEOUT``: one shard with runnable ranks went silent —
+# its worker process is hung (host-level stall, not a simulated
+# deadlock); the supervisor terminates and respawns it.
 PARKED_TIMEOUT_SECONDS = 10.0
 WALL_TIMEOUT_SECONDS = 600.0
+HEARTBEAT_TIMEOUT_SECONDS = 30.0
+
+# Shard supervision: restart budget per shard and the exponential
+# backoff between respawns.
+DEFAULT_SHARD_RESTARTS = 2
+RESPAWN_BACKOFF_BASE = 0.05
+RESPAWN_BACKOFF_CAP = 1.0
+
+# Worker-side IPC sends retry transient interruptions with bounded
+# exponential backoff before giving up.
+IPC_SEND_RETRIES = 5
+IPC_RETRY_BACKOFF = 0.01
+
+
+def _ipc_send(conn, message):
+    """Send on a multiprocessing Connection, absorbing transient
+    interruptions (EINTR, momentarily full pipe) with bounded
+    exponential backoff.  A broken pipe (dead peer) still raises."""
+    delay = IPC_RETRY_BACKOFF
+    for attempt in range(IPC_SEND_RETRIES):
+        try:
+            conn.send(message)
+            return
+        except (InterruptedError, BlockingIOError):
+            if attempt == IPC_SEND_RETRIES - 1:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
 
 
 class ParallelRunError(Exception):
@@ -114,10 +173,11 @@ class ShardPlan:
                                                      self.jobs)
 
 
-def parallel_collector(skew, jobs):
+def parallel_collector(skew, jobs, respawns=None):
     """Build the ``sim.parallel`` metrics collector — shared by the
     process backend and the thread backend so both report the same
-    sample shapes."""
+    sample shapes.  ``respawns`` (shard -> count) adds the process
+    backend's supervision counters."""
 
     def collect():
         samples = [
@@ -135,6 +195,9 @@ def parallel_collector(skew, jobs):
                             skew.quantum_reconciliations[shard]))
             samples.append(("counter", "parallel_sync_reconciliations",
                             labels, skew.sync_reconciliations[shard]))
+            if respawns is not None:
+                samples.append(("counter", "parallel_shard_respawns",
+                                labels, respawns.get(shard, 0)))
         return samples
 
     return collect
@@ -163,14 +226,23 @@ class ShardMemory(Memory):
     wholly inside one worker, so no other shard can see them — unless
     a LUT reconfiguration has blurred the private/shared line, in
     which case :meth:`log_everything` flips the filter off.
+
+    Every logged entry is tagged with the *rank* whose thread made the
+    store (``(rank, addr, value)``): rank threads interleave
+    non-deterministically inside one worker, so shard-level entry
+    counts are not reproducible — but each single rank's write order
+    is.  The coordinator's per-rank cursors
+    (:meth:`~repro.recovery.checkpoint.ShardCheckpoint.record_delta`)
+    depend on exactly that.
     """
 
-    __slots__ = ("_pending", "_log_all")
+    __slots__ = ("_pending", "_log_all", "_rank_local")
 
     def __init__(self):
         super().__init__()
-        self._pending = deque()   # (addr, value); append/popleft atomic
+        self._pending = deque()   # (rank, addr, value); append atomic
         self._log_all = [False]
+        self._rank_local = threading.local()
         self._rebind()
 
     def _rebind(self):
@@ -180,14 +252,20 @@ class ShardMemory(Memory):
         data = self._data
         pend = self._pending.append
         log_all = self._log_all
+        local = self._rank_local
 
         def put(addr, value, _data=data, _pend=pend, _all=log_all,
-                _base=SHARED_BASE):
+                _base=SHARED_BASE, _local=local):
             _data[addr] = value
             if addr >= _base or _all[0]:
-                _pend((addr, value))
+                _pend((getattr(_local, "rank", None), addr, value))
 
         self.put = put
+
+    def set_thread_rank(self, rank):
+        """Tag every logged store from the calling thread with
+        ``rank`` (each rank thread calls this once, before running)."""
+        self._rank_local.rank = rank
 
     def log_everything(self):
         """Conservative mode: log every store (LUT reconfiguration can
@@ -212,9 +290,10 @@ class ShardMemory(Memory):
                     get(src + index * stride, default))
 
     def drain_dirty(self):
-        """Pop every pending (addr, value) in FIFO order.  Callers
-        serialize on the client's drain lock, so two reconciliations
-        never interleave one rank's entries out of order."""
+        """Pop every pending (rank, addr, value) in FIFO order.
+        Callers serialize on the client's drain lock, so two
+        reconciliations never interleave one rank's entries out of
+        order."""
         pending = self._pending
         entries = []
         while True:
@@ -281,11 +360,15 @@ class _ShardClient:
     control pipe's FIFO order *is* the worker's global write order.
     """
 
-    def __init__(self, shard, memory, rank_conns, control_conn):
+    def __init__(self, shard, memory, rank_conns, control_conn,
+                 chaos=None):
         self.shard = shard
         self.memory = memory
         self.rank_conns = rank_conns      # rank -> Connection
         self.control = control_conn
+        self.chaos = chaos                # HostFaultPlan or None
+        self.anchor_rank = min(rank_conns) if rank_conns else None
+        self._tick_index = 0              # anchor rank's quantum ticks
         self._local = threading.local()
         self._drain_lock = threading.Lock()
         self._control_lock = threading.Lock()
@@ -298,10 +381,18 @@ class _ShardClient:
     def bind_thread(self, rank):
         self._local.rank = rank
         self._local.conn = self.rank_conns[rank]
+        self.memory.set_thread_rank(rank)
+
+    def _ipc_delay(self):
+        if self.chaos is not None and self.chaos.ipc_rules:
+            seconds = self.chaos.ipc_delay_seconds(self.shard)
+            if seconds > 0.0:
+                time.sleep(seconds)
 
     def _send_control(self, message):
+        self._ipc_delay()
         with self._control_lock:
-            self.control.send(message)
+            _ipc_send(self.control, message)
 
     def flush(self, kind="deltas", clock=None):
         """Ship pending dirty writes home (one-way, never blocks on a
@@ -316,20 +407,59 @@ class _ShardClient:
     def tick(self, clock):
         """Quantum-boundary reconciliation: non-blocking publish +
         abort poll (a pushed coordinator error must be able to stop a
-        rank that is deep in a compute loop)."""
+        rank that is deep in a compute loop).  The shard's *anchor*
+        rank (its lowest) additionally evaluates the host chaos plan
+        here: its quantum boundaries fall at deterministic simulated
+        cycles, so kill/stall schedules reproduce run-to-run."""
         conn = self._local.conn
         if conn.poll():
             status, payload, _ = conn.recv()
             if status == "error":
                 raise _unpack_error(payload)
+        if self.chaos is not None \
+                and self._local.rank == self.anchor_rank:
+            self._tick_index += 1
+            for action in self.chaos.on_tick(self.shard,
+                                             self._tick_index):
+                self._deliver_chaos(action)
         self.flush(kind="tick", clock=clock)
+
+    def _deliver_chaos(self, action):
+        """Deliver one host-fault action.  The one-shot note goes home
+        first so the coordinator never re-arms a delivered fault in
+        the plan it ships to the respawned worker."""
+        if action[0] == "kill":
+            _, rule_index, tick = action
+            try:
+                self._send_control(("chaos", self.shard,
+                                    (rule_index, tick, "worker_kill"),
+                                    None))
+            except Exception:  # noqa: BLE001 - dying anyway
+                pass
+            # abrupt: no flush, no cleanup — pending deltas are lost
+            # exactly as a real worker crash would lose them
+            os._exit(17)
+        _, rule_index, tick, seconds = action
+        try:
+            self._send_control(("chaos", self.shard,
+                                (rule_index, tick, "worker_stall"),
+                                None))
+        except Exception:  # noqa: BLE001 - stall anyway
+            pass
+        # freeze the whole worker, not just this thread: holding both
+        # locks blocks every sibling flush/RPC, so the shard goes
+        # heartbeat-silent and the supervisor's stall detection fires
+        with self._drain_lock:
+            with self._control_lock:
+                time.sleep(seconds)
 
     def request(self, op, *args):
         """One synchronous sync-point RPC: flush dirty writes, send,
         block for the reply, apply the peers' deltas it carries."""
         self.flush()
         conn = self._local.conn
-        conn.send((op, self._local.rank) + args)
+        self._ipc_delay()
+        _ipc_send(conn, (op, self._local.rank) + args)
         status, payload, batch = conn.recv()
         if batch is not None:
             self._apply_batch(batch)
@@ -531,10 +661,14 @@ class ShardWorld(RCCEWorld):
 
 
 def _worker_main(shard, ranks, source, num_ues, core_map, config,
-                 max_steps, engine, quantum, rank_conns, control_conn):
+                 max_steps, engine, quantum, rank_conns, control_conn,
+                 chaos=None):
     """One worker process: a full chip replica running ``ranks`` as
     host threads, every sync point an RPC to the coordinator.
-    Module-level and argument-complete, so it is spawn-safe."""
+    Module-level and argument-complete, so it is spawn-safe.  A
+    respawned worker gets the same arguments (plus the chaos plan's
+    accumulated fired set) and simply re-executes; the coordinator
+    serves it recorded replies until it catches up."""
     try:
         if engine == "compiled":
             from repro.sim.compile import warm_process_cache
@@ -544,7 +678,8 @@ def _worker_main(shard, ranks, source, num_ues, core_map, config,
             unit = parse_program(source, share=True)
         chip = SCCChip(config)
         memory = ShardMemory()
-        client = _ShardClient(shard, memory, rank_conns, control_conn)
+        client = _ShardClient(shard, memory, rank_conns, control_conn,
+                              chaos=chaos)
         world = ShardWorld(chip, num_ues, core_map, client)
 
         original_configure = chip.configure_window
@@ -684,12 +819,42 @@ class _Coordinator:
         self.failure = None
         self.failure_dumps = None
         self.error_pushed = set()   # ranks already sent an error
+        # shard supervision (armed by enable_supervision)
+        self.checkpoints = None     # shard -> ShardCheckpoint
+        self.fired_host = set()     # delivered (rule index, shard)
+        self.chaos_events = []      # (shard, kind, rule index, tick)
+        self.errored_shards = set() # shards that reported a simulated
+                                    # (deterministic) error — never
+                                    # respawned
+        self.respawns = {}          # shard -> respawns performed
+        self.fatal = None           # coordinator-local fatal error
+
+    def enable_supervision(self):
+        """Arm per-shard recovery records; called before workers start
+        whenever the restart budget allows at least one respawn."""
+        self.checkpoints = {
+            shard: ShardCheckpoint(shard, self.plan.ranks_of(shard))
+            for shard in range(self.plan.jobs)}
+
+    def _checkpoint(self, shard):
+        if self.checkpoints is None:
+            return None
+        return self.checkpoints.get(shard)
 
     # -- delta log ---------------------------------------------------------
 
     def append_deltas(self, shard, entries):
-        for addr, value in entries:
-            self.log.append((shard, addr, value))
+        checkpoint = self._checkpoint(shard)
+        if checkpoint is None:
+            for _rank, addr, value in entries:
+                self.log.append((shard, addr, value))
+            return
+        for rank, addr, value in entries:
+            # replayed entries are already in the log: suppress them
+            # (and hash-verify the replayed prefix); fresh entries —
+            # everything past the rank's recorded cursor — enter live
+            if checkpoint.record_delta(rank, addr, value):
+                self.log.append((shard, addr, value))
 
     def _range_for(self, shard):
         vfrom = self.sent_upto[shard]
@@ -712,16 +877,31 @@ class _Coordinator:
     # -- replies -----------------------------------------------------------
 
     def reply(self, rank, result):
-        self.pending.pop(rank, None)
+        op = self.pending.pop(rank, None)
         shard = self.plan.shard_of[rank]
-        self.conns[rank].send(("ok", result, self._range_for(shard)))
+        batch = self._range_for(shard)
+        checkpoint = self._checkpoint(shard)
+        if checkpoint is not None:
+            # record BEFORE sending: if the worker just died, this
+            # reply still happened as far as the sync state machine is
+            # concerned, and the respawned shard is served exactly it
+            checkpoint.record_reply(rank, op, "ok", result, batch)
+        conn = self.conns.get(rank)
+        if conn is not None:
+            try:
+                conn.send(("ok", result, batch))
+            except (OSError, ValueError):
+                pass  # dead worker; supervision handles the EOF
 
     def reply_error(self, rank, packed):
         self.pending.pop(rank, None)
         self.error_pushed.add(rank)
         conn = self.conns.get(rank)
         if conn is not None:
-            conn.send(("error", packed, None))
+            try:
+                conn.send(("error", packed, None))
+            except (OSError, ValueError):
+                pass
 
     def push_failure(self, packed):
         """First failure wins (a secondary BarrierAborted never
@@ -748,15 +928,28 @@ class _Coordinator:
     def handle_control(self, shard, message):
         kind, _shard, payload, extra = message
         if kind in ("deltas", "tick"):
-            self.append_deltas(shard, payload)
+            try:
+                self.append_deltas(shard, payload)
+            except Exception as exc:  # noqa: BLE001 - replay diverged
+                self.record_failure(_pack_error(exc))
+                return
             if kind == "tick":
                 self.skew.note_quantum(shard, extra)
+                checkpoint = self._checkpoint(shard)
+                if checkpoint is not None:
+                    checkpoint.note_tick(checkpoint.acked_tick + 1)
         elif kind == "rank_done":
             self.finished.add(payload)
         elif kind == "error":
+            self.errored_shards.add(shard)
             self.record_failure(payload, extra)
         elif kind == "result":
             self.results[shard] = payload
+        elif kind == "chaos":
+            rule_index, tick, fault_kind = payload
+            self.fired_host.add((rule_index, shard))
+            self.chaos_events.append((shard, fault_kind, rule_index,
+                                      tick))
 
     def handle_request(self, message):
         op = message[0]
@@ -764,8 +957,15 @@ class _Coordinator:
         if self.failure is not None:
             self.reply_error(rank, self.failure)
             return
-        self.pending[rank] = op
         shard = self.plan.shard_of[rank]
+        checkpoint = self._checkpoint(shard)
+        if checkpoint is not None and checkpoint.replaying(rank):
+            # a respawned shard re-executing its recorded prefix: the
+            # live sync state machine already processed this request
+            # in the original timeline — serve the recorded reply
+            self._serve_replay(checkpoint, rank, op)
+            return
+        self.pending[rank] = op
         handler = getattr(self, "_op_" + op)
         try:
             handler(rank, *message[2:])
@@ -775,6 +975,20 @@ class _Coordinator:
             # would have raised it there
             self.reply_error(rank, _pack_error(exc))
         self.skew.note_sync(shard, self._clock_of(op, message))
+
+    def _serve_replay(self, checkpoint, rank, op):
+        try:
+            _op, status, payload, batch = checkpoint.next_reply(rank,
+                                                                op)
+        except Exception as exc:  # noqa: BLE001 - replay diverged
+            self.record_failure(_pack_error(exc))
+            return
+        conn = self.conns.get(rank)
+        if conn is not None:
+            try:
+                conn.send((status, payload, batch))
+            except (OSError, ValueError):
+                pass
 
     @staticmethod
     def _clock_of(op, message):
@@ -946,21 +1160,84 @@ class _Coordinator:
 
     # -- supervision -------------------------------------------------------
 
+    # which user-facing sync site an RPC op parks at, for deadlock
+    # messages (the satellite contract: name the rank AND the site)
+    SYNC_SITE_KINDS = {
+        "barrier": "barrier", "exchange": "barrier",
+        "lock_contended": "lock", "lock_acquire": "lock",
+        "lock_release": "lock",
+        "flag_alloc": "flag", "flag_free": "flag",
+        "flag_write": "flag", "flag_read": "flag", "flag_wait": "flag",
+        "send": "send", "recv": "recv",
+    }
+
     def all_parked(self):
         return (len(self.pending) + len(self.finished)) >= self.num_ues
 
     def parked_description(self):
-        rows = ["rank %d parked in %s" % (rank, op)
+        rows = ["rank %d parked at %s sync site"
+                % (rank, self.SYNC_SITE_KINDS.get(op, op))
                 for rank, op in sorted(self.pending.items())]
         return "; ".join(rows) if rows \
             else "no rank has reached a sync point"
+
+    def rollback_rank(self, rank):
+        """Scrub a dead rank's *un-replied* pending request from the
+        sync state machine before its shard replays.  Replied requests
+        need no rollback: the state machine already transitioned, and
+        the recorded reply is served verbatim during replay."""
+        op = self.pending.pop(rank, None)
+        if op is None:
+            return
+        if op in ("barrier", "exchange"):
+            arrival = self.barrier_arrivals.pop(rank, None)
+            if arrival is not None and arrival[1] == "exchange":
+                round_id = arrival[2]
+                deposits = self.deposits.get(round_id)
+                if deposits is not None:
+                    deposits.pop(rank, None)
+                    if not deposits:
+                        self.deposits.pop(round_id, None)
+        elif op == "lock_acquire":
+            for waiters in self.lock_waiters.values():
+                try:
+                    waiters.remove(rank)
+                except ValueError:
+                    pass
+        elif op == "flag_wait":
+            for flag_id in list(self.flag_waiters):
+                remaining = [entry
+                             for entry in self.flag_waiters[flag_id]
+                             if entry[0] != rank]
+                if remaining:
+                    self.flag_waiters[flag_id] = remaining
+                else:
+                    del self.flag_waiters[flag_id]
+        elif op == "send":
+            for state in self.channels.values():
+                payload = state["payload"]
+                if payload is not None and payload[0] == rank:
+                    queue = state["send_queue"]
+                    state["payload"] = queue.popleft() if queue \
+                        else None
+                elif state["send_queue"]:
+                    state["send_queue"] = deque(
+                        entry for entry in state["send_queue"]
+                        if entry[0] != rank)
+        elif op == "recv":
+            for state in self.channels.values():
+                waiter = state["recv_waiter"]
+                if waiter is not None and waiter[0] == rank:
+                    state["recv_waiter"] = None
 
 
 def run_rcce_parallel(source, num_ues, config, chip, core_map,
                       max_steps, engine, jobs, quantum=None,
                       start_method=None, diagnostics=None,
                       wall_timeout=WALL_TIMEOUT_SECONDS,
-                      parked_timeout=PARKED_TIMEOUT_SECONDS):
+                      parked_timeout=PARKED_TIMEOUT_SECONDS,
+                      heartbeat_timeout=None, shard_restarts=None,
+                      chaos=None, watchdog=None):
     """Run an RCCE source program sharded over ``jobs`` worker
     processes.  Returns the same :class:`~repro.sim.runner.RunResult`
     shape as the sequential ``run_rcce`` — cycles, outputs, stats and
@@ -969,6 +1246,19 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
     ``source`` must be the program's *source text* (workers re-parse it
     through the shared sha256 memo); the caller (``run_rcce``) already
     downgrades pre-parsed units to the thread backend.
+
+    Shard supervision: each worker is watched through its process
+    sentinel (death) and its control-pipe heartbeat (hangs).  A dead
+    or stalled worker is respawned up to ``shard_restarts`` times with
+    exponential backoff and replayed to its crash point from the
+    coordinator's quantum-aligned :class:`ShardCheckpoint`; an
+    exhausted budget raises :class:`ShardRestartsExhaustedError` (the
+    caller downgrades to the thread backend).  ``chaos`` takes a
+    :class:`~repro.faults.HostFaultPlan` or host-fault spec string;
+    ``watchdog`` maps a sequential :class:`~repro.sim.watchdog.
+    Watchdog`'s lock/barrier timeouts onto the coordinator's
+    parked/wall bounds (the coordinator sees every sync wait, so it
+    subsumes the per-thread watchdog).
     """
     from repro.sim.runner import RunResult
 
@@ -981,61 +1271,171 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
     skew = SkewBarrier(plan.jobs, quantum)
     coord = _Coordinator(plan, config, skew)
 
+    if isinstance(chaos, str):
+        chaos = HostFaultPlan(chaos)
+    if chaos is not None and not chaos.active:
+        chaos = None
+    if shard_restarts is None:
+        shard_restarts = DEFAULT_SHARD_RESTARTS
+    if heartbeat_timeout is None:
+        heartbeat_timeout = HEARTBEAT_TIMEOUT_SECONDS
+    if watchdog is not None:
+        # every unfinished rank parked = every rank is inside a sync
+        # wait, which is exactly what the sequential watchdog's lock
+        # timeout bounds; total silence maps onto its barrier timeout
+        parked_timeout = min(parked_timeout, watchdog.lock_timeout)
+        wall_timeout = min(wall_timeout, watchdog.barrier_timeout)
+    report = RecoveryReport(max_restarts=shard_restarts)
+    if shard_restarts > 0:
+        coord.enable_supervision()
+
     method = start_method
     if method is None:
         methods = multiprocessing.get_all_start_methods()
         method = "fork" if "fork" in methods else methods[0]
     ctx = multiprocessing.get_context(method)
 
-    child_rank_conns = {shard: {} for shard in range(plan.jobs)}
-    for rank in range(num_ues):
-        parent_end, child_end = ctx.Pipe()
-        coord.conns[rank] = parent_end
-        child_rank_conns[plan.shard_of[rank]][rank] = child_end
-    child_controls = {}
-    for shard in range(plan.jobs):
-        parent_end, child_end = ctx.Pipe(duplex=False)
-        coord.controls[shard] = parent_end
-        child_controls[shard] = child_end
+    processes = {}        # shard -> live Process (None once reaped)
+    all_workers = []      # every process ever spawned, for teardown
+    last_control = {}     # shard -> monotonic time of last heartbeat
+    conn_shard = {}       # id(control conn) -> shard
+    conn_rank = {}        # id(rank conn) -> rank
 
-    workers = []
-    for shard in range(plan.jobs):
+    def spawn_shard(shard):
+        ranks = plan.ranks_of(shard)
+        rank_children = {}
+        for rank in ranks:
+            parent_end, child_end = ctx.Pipe()
+            coord.conns[rank] = parent_end
+            conn_rank[id(parent_end)] = rank
+            rank_children[rank] = child_end
+        control_parent, control_child = ctx.Pipe(duplex=False)
+        coord.controls[shard] = control_parent
+        conn_shard[id(control_parent)] = shard
+        plan_for_worker = None
+        if chaos is not None:
+            # ship the accumulated fired set: a delivered one-shot
+            # fault must not re-fire while the respawn replays
+            plan_for_worker = HostFaultPlan(
+                chaos.rules, fired=chaos.fired | coord.fired_host)
         worker = ctx.Process(
             target=_worker_main,
-            args=(shard, plan.ranks_of(shard), source, num_ues,
-                  world_core_map, config, max_steps, engine, quantum,
-                  child_rank_conns[shard], child_controls[shard]),
+            args=(shard, ranks, source, num_ues, world_core_map,
+                  config, max_steps, engine, quantum, rank_children,
+                  control_child, plan_for_worker),
             name="repro-shard%d" % shard, daemon=True)
-        workers.append(worker)
-    for worker in workers:
         worker.start()
-    # the parent's copies of the child ends must close, or EOF on a
-    # dead worker would never surface
-    for shard in range(plan.jobs):
-        for conn in child_rank_conns[shard].values():
+        processes[shard] = worker
+        all_workers.append(worker)
+        # the parent's copies of the child ends must close, or EOF on
+        # a dead worker would never surface
+        for conn in rank_children.values():
             conn.close()
-        child_controls[shard].close()
+        control_child.close()
+        last_control[shard] = time.monotonic()
 
-    conn_shard = {id(conn): shard
-                  for shard, conn in coord.controls.items()}
-    conn_rank = {id(conn): rank for rank, conn in coord.conns.items()}
+    def close_shard_conns(shard):
+        control = coord.controls.pop(shard, None)
+        if control is not None:
+            conn_shard.pop(id(control), None)
+            control.close()
+        for rank in plan.ranks_of(shard):
+            conn = coord.conns.pop(rank, None)
+            if conn is not None:
+                conn_rank.pop(id(conn), None)
+                conn.close()
 
     def drain_control(shard):
+        """Drain buffered control messages; False means the pipe hit
+        EOF (worker gone) and the caller decides recover vs. close."""
         control = coord.controls.get(shard)
         while control is not None and control.poll():
             try:
-                coord.handle_control(shard, control.recv())
-            except EOFError:
-                coord.controls.pop(shard, None)
-                return
+                message = control.recv()
+            except (EOFError, OSError):
+                return False
+            last_control[shard] = time.monotonic()
+            coord.handle_control(shard, message)
+        return True
+
+    def reap_worker(shard):
+        proc = processes.get(shard)
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        processes[shard] = None
+
+    def shard_runnable(shard):
+        """Whether the shard owes the coordinator activity: at least
+        one of its ranks is neither finished nor parked at a sync
+        point awaiting a reply."""
+        return any(rank not in coord.finished
+                   and rank not in coord.pending
+                   for rank in plan.ranks_of(shard))
+
+    def recover_shard(shard, cause):
+        # the control pipe may still hold the worker's last words — a
+        # result, a deterministic error, or chaos one-shot notes — and
+        # those change the verdict, so drain before classifying
+        drain_control(shard)
+        reap_worker(shard)
+        close_shard_conns(shard)
+        if shard in coord.results or shard in coord.errored_shards \
+                or coord.failure is not None \
+                or coord.fatal is not None:
+            return
+        checkpoint = coord._checkpoint(shard)
+        used = coord.respawns.get(shard, 0)
+        if checkpoint is None or used >= shard_restarts:
+            report.record_failure(used, cause, shard=shard)
+            coord.fatal = ShardRestartsExhaustedError(
+                "shard %d %s and the restart budget (%d) is "
+                "exhausted"
+                % (shard,
+                   "worker stalled"
+                   if isinstance(cause, WorkerStallError)
+                   else "worker died", shard_restarts),
+                shard=shard, report=report)
+            return
+        report.record_failure(used, cause, shard=shard,
+                              restored_round=checkpoint.acked_tick)
+        # only un-replied pending requests roll back: replied ones
+        # already transitioned the sync state machine, and the replay
+        # serves their recorded replies verbatim
+        for rank in plan.ranks_of(shard):
+            coord.rollback_rank(rank)
+        time.sleep(min(RESPAWN_BACKOFF_BASE * (2 ** used),
+                       RESPAWN_BACKOFF_CAP))
+        coord.respawns[shard] = used + 1
+        report.restarts += 1
+        checkpoint.begin_replay()
+        spawn_shard(shard)
+
+    def handle_worker_eof(shard, why):
+        if shard in coord.results or shard in coord.errored_shards \
+                or coord.failure is not None \
+                or coord.fatal is not None:
+            reap_worker(shard)
+            close_shard_conns(shard)
+            return
+        recover_shard(shard, WorkerDeathError(why, shard=shard))
+
+    for shard in range(plan.jobs):
+        spawn_shard(shard)
 
     try:
         last_activity = time.monotonic()
         parked_since = None
         while len(coord.results) < plan.jobs and \
-                coord.failure is None:
+                coord.failure is None and coord.fatal is None:
+            sentinel_shard = {}
+            for shard, proc in processes.items():
+                if proc is not None and shard not in coord.results:
+                    sentinel_shard[proc.sentinel] = shard
             waitable = list(coord.controls.values()) \
-                + list(coord.conns.values())
+                + list(coord.conns.values()) \
+                + list(sentinel_shard)
             if not waitable:
                 break
             ready = multiprocessing.connection.wait(waitable,
@@ -1043,30 +1443,67 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
             if ready:
                 last_activity = time.monotonic()
                 parked_since = None
+            # data first, sentinels last: a worker that finished (or
+            # crashed) may have parting messages buffered, and those
+            # decide whether its exit is completion or a casualty
             for conn in ready:
+                if conn in sentinel_shard:
+                    continue
                 shard = conn_shard.get(id(conn))
                 if shard is not None:
-                    drain_control(shard)
+                    if not drain_control(shard):
+                        handle_worker_eof(
+                            shard,
+                            "shard %d worker closed its control "
+                            "pipe without reporting a result"
+                            % shard)
                     continue
-                rank = conn_rank[id(conn)]
+                rank = conn_rank.get(id(conn))
+                if rank is None:
+                    continue  # shard already recovered this round
+                shard = coord.plan.shard_of[rank]
                 # the rank's dirty writes travel on its worker's
                 # control pipe and were sent first; log them before
                 # computing any reply this request triggers
-                drain_control(coord.plan.shard_of[rank])
+                drain_control(shard)
+                if coord.conns.get(rank) is not conn:
+                    continue
                 try:
                     message = conn.recv()
-                except EOFError:
-                    coord.conns.pop(rank, None)
-                    if rank not in coord.finished and \
-                            coord.failure is None:
-                        coord.record_failure(_pack_error(
-                            ParallelRunError(
-                                "worker for rank %d died without "
-                                "reporting an error" % rank)))
+                except (EOFError, OSError):
+                    handle_worker_eof(
+                        shard,
+                        "shard %d worker died without reporting a "
+                        "result (EOF on rank %d)" % (shard, rank))
                     continue
                 coord.handle_request(message)
+            for sentinel in ready:
+                shard = sentinel_shard.get(sentinel)
+                if shard is None:
+                    continue
+                proc = processes.get(shard)
+                if proc is None or proc.is_alive():
+                    continue  # already handled, or spurious wakeup
+                handle_worker_eof(
+                    shard,
+                    "shard %d worker process exited with code %s "
+                    "before reporting a result"
+                    % (shard, proc.exitcode))
             if not ready:
                 now = time.monotonic()
+                if coord.failure is None and coord.fatal is None:
+                    for shard in list(coord.controls):
+                        if shard in coord.results \
+                                or shard in coord.errored_shards:
+                            continue
+                        quiet = now - last_control.get(shard, now)
+                        if quiet > heartbeat_timeout \
+                                and shard_runnable(shard):
+                            recover_shard(shard, WorkerStallError(
+                                "shard %d made no quantum progress "
+                                "for %.1fs (heartbeat timeout %gs)"
+                                % (shard, quiet, heartbeat_timeout),
+                                shard=shard))
                 if coord.all_parked() and \
                         len(coord.finished) < num_ues:
                     if parked_since is None:
@@ -1084,16 +1521,16 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
                                coord.parked_description()))))
         # drain any result/error messages still in flight
         deadline = time.monotonic() + 5.0
-        while coord.failure is None and \
+        while coord.failure is None and coord.fatal is None and \
                 len(coord.results) < plan.jobs and \
                 time.monotonic() < deadline:
             for shard in list(coord.controls):
                 drain_control(shard)
             time.sleep(0.01)
     finally:
-        for worker in workers:
+        for worker in all_workers:
             worker.join(timeout=5.0)
-        for worker in workers:
+        for worker in all_workers:
             if worker.is_alive():
                 worker.terminate()
                 worker.join(timeout=5.0)
@@ -1102,6 +1539,8 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
         for conn in coord.controls.values():
             conn.close()
 
+    if coord.fatal is not None:
+        raise coord.fatal
     if coord.failure is not None:
         exc = _unpack_error(coord.failure)
         if isinstance(exc, StepLimitExceeded) and \
@@ -1162,8 +1601,9 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
     chip.metrics.register_collector("sim.interpreters",
                                     collect_interpreters)
 
-    chip.metrics.register_collector("sim.parallel",
-                                    parallel_collector(skew, plan.jobs))
+    chip.metrics.register_collector(
+        "sim.parallel",
+        parallel_collector(skew, plan.jobs, respawns=coord.respawns))
     metrics = chip.metrics.snapshot()
 
     per_core = {row["core"]: row["cycles"]
@@ -1174,6 +1614,21 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
         rank = next(r for r, row in per_rank.items()
                     if row["core"] == core)
         outputs.extend(per_rank[rank]["output"])
+
+    extra = {"start_method": method}
+    if coord.respawns:
+        extra["shard_respawns"] = dict(coord.respawns)
+    if coord.chaos_events:
+        extra["chaos_events"] = [
+            {"shard": shard, "kind": kind, "rule": rule_index,
+             "tick": tick}
+            for shard, kind, rule_index, tick in coord.chaos_events]
+    if report.failures:
+        report.recovered = True
+        merged = list(diagnostics) if diagnostics else []
+        merged.extend(report.diagnostics())
+        diagnostics = merged
+
     result = RunResult(
         total, config, outputs,
         per_core_cycles=per_core,
@@ -1185,8 +1640,10 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
                             for index, stats
                             in chip.controller_stats().items()},
             "parallel": parallel_stats("process", skew, plan.jobs,
-                                       start_method=method),
+                                       **extra),
         },
         metrics=metrics,
         diagnostics=diagnostics)
+    if report.failures:
+        result.recovery = report
     return result

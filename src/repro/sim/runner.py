@@ -28,7 +28,13 @@ import threading
 
 from repro.cfront.frontend import parse_program
 from repro.diagnostics import Diagnostic
-from repro.faults import CoreCrashFault, FaultInjector
+from repro.faults import (
+    CoreCrashFault,
+    FaultInjector,
+    HostFaultPlan,
+    parse_fault_spec,
+    split_host_rules,
+)
 from repro.obs.attribution import AttributionEngine
 from repro.race import RaceDetector
 from repro.rcce.api import RCCEWorld
@@ -58,6 +64,7 @@ from repro.sim.machine import Memory
 from repro.sim.pthread_rt import PthreadRuntime
 from repro.sim.watchdog import (
     BarrierAbortedError,
+    ShardRestartsExhaustedError,
     SimulationTimeout,
     WatchdogError,
     core_dumps,
@@ -202,19 +209,21 @@ def _resolve_engine(engine, injector, checkpointed=False):
 
 
 def _resolve_parallel_backend(backend, jobs, program, injector,
-                              detector, attr, recovery, watchdog,
-                              chip):
+                              detector, attr, recovery, chip):
     """Pick the parallel backend actually used for ``jobs > 1``;
     returns ``(backend, warning)``.
 
     The process backend shards chip replicas across worker processes,
     so every feature that needs one shared live world — fault
     injection, the race detector, cycle attribution, recovery,
-    the watchdog's wait-for graph, event tracing — and pre-parsed
-    program units (workers re-parse source) force the shared-world
-    *thread* backend instead.  Like engine downgrades, this happens
-    loudly: a warning :class:`Diagnostic` the CLI prints (and refuses
-    under ``--strict``), never silently."""
+    event tracing — and pre-parsed program units (workers re-parse
+    source) force the shared-world *thread* backend instead.  Like
+    engine downgrades, this happens loudly: a warning
+    :class:`Diagnostic` the CLI prints (and refuses under
+    ``--strict``), never silently.  The watchdog no longer forces a
+    downgrade: the parallel coordinator sees every sync wait, so it
+    maps the watchdog's lock/barrier timeouts onto its own
+    parked/wall-clock supervision."""
     if jobs <= 1:
         return "none", None
     if backend not in ("process", "thread"):
@@ -232,8 +241,6 @@ def _resolve_parallel_backend(backend, jobs, program, injector,
         reasons.append("cycle attribution")
     if recovery is not None:
         reasons.append("recovery")
-    if watchdog is not None:
-        reasons.append("the watchdog")
     if chip.events.enabled:
         reasons.append("event tracing")
     if not reasons:
@@ -379,7 +386,8 @@ class _CoreError:
 def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
              max_steps=200_000_000, engine="compiled", faults=None,
              watchdog=None, recovery=None, race=None, attribution=None,
-             jobs=1, quantum=None, parallel_backend="process"):
+             jobs=1, quantum=None, parallel_backend="process",
+             chaos=None, shard_restarts=None, heartbeat_timeout=None):
     """Run a translated RCCE program on ``num_ues`` simulated cores.
 
     ``jobs > 1`` shards the simulated cores over host workers with
@@ -390,12 +398,36 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     is the lax-sync reconciliation interval in simulated cycles.
     Cycles and outputs are byte-identical to ``jobs=1`` for any shard
     count and any quantum.
+
+    ``chaos`` injects deterministic *host-level* faults into the
+    process backend's workers (kill/stall/IPC delay; a
+    :class:`~repro.faults.HostFaultPlan` or spec string); host-fault
+    clauses inside ``faults`` are routed there too.  ``shard_restarts``
+    bounds per-shard respawns (default 2) and ``heartbeat_timeout``
+    bounds a worker's silence before it is declared stalled.  When the
+    restart budget runs out the run degrades — loudly — to the thread
+    backend and re-runs from the beginning.
     """
     unit = _as_unit(program)
     config = config or Table61Config()
     chip = chip or SCCChip(config)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    # one --faults spec may mix chip- and host-level clauses; host
+    # clauses join the chaos plan instead of the chip injector
+    chaos_plan = chaos
+    if isinstance(chaos_plan, str):
+        chaos_plan = HostFaultPlan(chaos_plan)
+    if faults is not None and not isinstance(faults, FaultInjector):
+        chip_rules, host_rules = split_host_rules(
+            parse_fault_spec(faults))
+        if host_rules:
+            chaos_plan = HostFaultPlan(
+                (chaos_plan.rules if chaos_plan is not None else [])
+                + host_rules)
+        faults = chip_rules
+    if chaos_plan is not None and not chaos_plan.active:
+        chaos_plan = None
     injector = _as_injector(faults)
     detector = _as_detector(race)
     attr = _as_attribution(attribution)
@@ -406,19 +438,43 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
     diagnostics = [downgrade] if downgrade is not None else []
     backend, parallel_downgrade = _resolve_parallel_backend(
         parallel_backend, jobs, program, injector, detector, attr,
-        recovery, watchdog, chip)
+        recovery, chip)
     if parallel_downgrade is not None:
         diagnostics.append(parallel_downgrade)
+    degraded_report = None
     if backend == "process":
         # nothing below composes with sharded worker processes (that
         # is exactly what _resolve_parallel_backend just checked), so
         # hand the whole run to the process backend; the parse above
         # already surfaced any front-end error in this process
         from repro.sim.parallel import run_rcce_parallel
-        return run_rcce_parallel(program, num_ues, config, chip,
-                                 core_map, max_steps, engine, jobs,
-                                 quantum=quantum,
-                                 diagnostics=diagnostics)
+        try:
+            return run_rcce_parallel(
+                program, num_ues, config, chip, core_map, max_steps,
+                engine, jobs, quantum=quantum,
+                diagnostics=diagnostics,
+                heartbeat_timeout=heartbeat_timeout,
+                shard_restarts=shard_restarts, chaos=chaos_plan,
+                watchdog=watchdog)
+        except ShardRestartsExhaustedError as exc:
+            # the graceful rung below hard failure: finish the run on
+            # the shared-world thread backend, from the beginning
+            diagnostics.append(Diagnostic.warning(
+                "simulate",
+                "%s; degraded to the thread backend and re-ran from "
+                "the beginning (verified cycle-identical)" % exc))
+            degraded_report = exc.report
+            if degraded_report is not None:
+                diagnostics.extend(degraded_report.diagnostics())
+            backend = "thread"
+            chaos_plan = None  # host faults died with the workers
+    if chaos_plan is not None:
+        diagnostics.append(Diagnostic.warning(
+            "simulate",
+            "host chaos targets the process backend's workers; this "
+            "run uses %s, so the chaos plan is ignored"
+            % ("the thread backend" if backend == "thread"
+               else "no worker processes (jobs=1)")))
     plan = skew = None
     if backend == "thread":
         from repro.sim.parallel import ShardPlan, parallel_collector
@@ -572,6 +628,8 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
         stats=stats,
         metrics=metrics,
         diagnostics=diagnostics)
+    if degraded_report is not None:
+        result.recovery = degraded_report
     if detector is not None:
         result.race = detector.report()
         result.diagnostics.extend(result.race.diagnostics())
@@ -586,7 +644,8 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                         faults=None, recovery=None, max_restarts=1,
                         chip_factory=None, watchdog_factory=None,
                         race=None, attribution=None, jobs=1,
-                        quantum=None):
+                        quantum=None, shard_restarts=None,
+                        heartbeat_timeout=None):
     """Run an RCCE program under a restarting supervisor.
 
     The run checkpoints at barrier rounds
@@ -632,7 +691,9 @@ def run_rcce_supervised(program, num_ues, config=None, core_map=None,
                 core_map=core_map, max_steps=max_steps, engine=engine,
                 faults=injector, watchdog=watchdog, recovery=options,
                 race=attempt_race, attribution=attribution,
-                jobs=jobs, quantum=quantum)
+                jobs=jobs, quantum=quantum,
+                shard_restarts=shard_restarts,
+                heartbeat_timeout=heartbeat_timeout)
         except RESTARTABLE_ERRORS as exc:
             if attempt >= max_restarts:
                 exc.recovery_report = report

@@ -71,6 +71,38 @@ class WatchdogAborted(WatchdogError):
     already failed."""
 
 
+class HostFaultError(WatchdogError):
+    """Base class for host-level supervision failures in the process
+    backend: a worker *process* (not a simulated core) died or hung.
+    ``shard`` names the affected shard."""
+
+    def __init__(self, message, shard=None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class WorkerDeathError(HostFaultError):
+    """A shard's worker process exited without reporting a simulated
+    failure (killed, crashed, or OOM-reaped)."""
+
+
+class WorkerStallError(HostFaultError):
+    """A shard's worker process made no quantum progress within the
+    heartbeat bound while at least one of its ranks was still
+    runnable (hung host process, not a simulated deadlock)."""
+
+
+class ShardRestartsExhaustedError(HostFaultError):
+    """A shard died or stalled more times than the restart budget
+    allows.  ``report`` carries the :class:`~repro.recovery.supervisor.
+    RecoveryReport` of every attempt; the runner degrades to the
+    thread backend instead of letting this escape."""
+
+    def __init__(self, message, shard=None, report=None):
+        super().__init__(message, shard=shard)
+        self.report = report
+
+
 class SimulationTimeout(StepLimitExceeded):
     """The simulation exceeded its step/cycle budget.  Carries a
     per-core state dump so the failure is diagnosable.  Subclasses

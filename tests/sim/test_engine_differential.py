@@ -573,3 +573,24 @@ def test_attribution_identical_across_engines():
     assert compiled.mem_ops == tree.mem_ops
     assert compiled.critical_path.as_dict() == \
         tree.critical_path.as_dict()
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+def test_process_backend_start_method_invariant(method):
+    """ISSUE 8 satellite: the process backend is byte-identical under
+    both start methods — spawn workers inherit nothing from the
+    parent, so this pins the 'everything the worker needs travels in
+    the pickled job' property that verified-replay recovery also
+    relies on."""
+    import multiprocessing
+
+    from repro.sim.parallel import run_rcce_parallel
+
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip("start method %r unavailable" % method)
+    chip = _tiny_chip()
+    result = run_rcce_parallel(
+        _parallel_source("dot"), 4, chip.config, chip, None,
+        50_000_000, "compiled", 2, start_method=method)
+    assert _parallel_signature(result) == _parallel_baseline("dot")
+    assert result.stats["parallel"]["start_method"] == method

@@ -397,6 +397,125 @@ class TestParallelFlags:
         assert parallel[0] == 0
 
 
+CHAOS_KERNEL = """
+#include <stdio.h>
+#include <RCCE.h>
+int RCCE_APP(int argc, char **argv) {
+    int i; int acc;
+    RCCE_init(&argc, &argv);
+    acc = 0;
+    for (i = 0; i < 20000; i++) { acc += i; }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    printf("ue %d acc %d\\n", RCCE_ue(), acc);
+    RCCE_finalize();
+    return 0;
+}
+"""
+
+RECV_DEADLOCK_KERNEL = """
+#include <RCCE.h>
+int RCCE_APP(int argc, char **argv) {
+    int buf[1];
+    RCCE_init(&argc, &argv);
+    if (RCCE_ue() == 0) {
+        RCCE_recv(buf, sizeof(int), 1);  /* nobody ever sends */
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}
+"""
+
+
+class TestChaosFlags:
+    @pytest.fixture
+    def chaos_file(self, tmp_path):
+        path = tmp_path / "chaos.c"
+        path.write_text(CHAOS_KERNEL)
+        return str(path)
+
+    def test_bad_chaos_spec_exits_2(self, chaos_file):
+        code, _, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--chaos", "gamma_ray:p=1"])
+        assert code == 2
+        assert "bad --chaos spec" in err
+
+    def test_chip_kind_in_chaos_exits_2(self, chaos_file):
+        code, _, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--chaos", "dram_flip:p=0.1"])
+        assert code == 2
+        assert "bad --chaos spec" in err
+        assert "FaultInjector" in err
+
+    def test_negative_shard_restarts_exits_2(self, chaos_file):
+        code, _, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--shard-restarts", "-1"])
+        assert code == 2
+        assert "--shard-restarts" in err
+
+    def test_non_positive_heartbeat_exits_2(self, chaos_file):
+        code, _, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--heartbeat-timeout", "0"])
+        assert code == 2
+        assert "--heartbeat-timeout" in err
+
+    def test_chaos_kill_recovers_byte_identical(self, chaos_file):
+        baseline = run_cli(["run", chaos_file, "--mode", "rcce",
+                            "--ues", "4"])
+        code, out, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--quantum", "1000",
+             "--chaos", "worker_kill:at_tick=1"])
+        assert code == 0
+        assert (code, out) == baseline
+        assert "respawned and replayed" in err
+
+    def test_exhausted_budget_downgrades_exit_0(self, chaos_file):
+        baseline = run_cli(["run", chaos_file, "--mode", "rcce",
+                            "--ues", "4"])
+        code, out, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--quantum", "1000",
+             "--chaos", "worker_kill:at_tick=1",
+             "--shard-restarts", "0"])
+        assert code == 0
+        assert (code, out) == baseline
+        assert "degraded to the thread backend" in err
+        assert "restart budget" in err
+
+    def test_exhausted_budget_exits_2_under_strict(self, chaos_file):
+        code, _, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--quantum", "1000",
+             "--chaos", "worker_kill:at_tick=1",
+             "--shard-restarts", "0", "--strict"])
+        assert code == 2
+        assert "--strict" in err
+        assert "--shard-restarts" in err
+
+    def test_watchdog_with_jobs_no_longer_downgrades(
+            self, chaos_file):
+        code, _, err = run_cli_err(
+            ["run", chaos_file, "--mode", "rcce", "--ues", "4",
+             "--jobs", "2", "--watchdog-timeout", "30", "--strict"])
+        assert code == 0
+        assert "thread backend" not in err
+
+    def test_parallel_deadlock_names_rank_and_site(self, tmp_path):
+        path = tmp_path / "recv_deadlock.c"
+        path.write_text(RECV_DEADLOCK_KERNEL)
+        code, _, err = run_cli_err(
+            ["run", str(path), "--mode", "rcce", "--ues", "2",
+             "--jobs", "2", "--watchdog-timeout", "2"])
+        assert code == 75
+        assert "rank 0 parked at recv sync site" in err
+        assert "rank 1 parked at barrier sync site" in err
+
+
 FIXTURES = __import__("os").path.join(
     __import__("os").path.dirname(__file__), "fixtures")
 
