@@ -1,0 +1,205 @@
+"""Job service: submission-to-completion throughput and overhead.
+
+Pushes a batch of small Figure 6.1 kernels (distinct sizes, so the
+result memo never short-circuits the measurement) through a
+:class:`repro.serve.Scheduler`, times the batch end to end, and
+compares against running the identical jobs in-process with
+``execute_job`` — no queue, no worker fork, no IPC.  Three numbers
+come out:
+
+* ``overhead_ratio`` — pool-1 service wall / direct wall for the same
+  batch.  The cost of supervision (fork, pipes, scheduling rounds)
+  relative to the simulation itself; machine-relative, so it is the
+  quantity the perf guard pins.
+* ``jobs_per_second`` at the full pool — throughput a multi-CPU host
+  gets from running workers concurrently.  Like the parallel-backend
+  speedup, this is a property of the *host*: a single-CPU runner
+  time-slices the workers, so the guard only asserts it where
+  ``host_cpus >= 4`` (and the report records ``host_cpus`` so a
+  committed single-CPU baseline is never mistaken for one with a
+  measured pool speedup).
+* ``byte_identical`` — every service result must match its direct
+  run exactly.  Asserted on every host, no excuses.
+
+A second, memo-warm pass over the same batch measures cache-hit
+throughput (``cached_jobs_per_second``) — hits never touch a worker.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py           # full set
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --smoke   # CI subset
+    pytest benchmarks/bench_serve_throughput.py                          # smoke test
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.bench.programs import benchmark_source  # noqa: E402
+from repro.serve import JobSpec, Scheduler, execute_job  # noqa: E402
+from repro.serve.job import Job  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_serve.json")
+POOL_SIZE = 4
+MIN_HOST_CPUS = 4   # below this, pool throughput is not measurable
+
+# (kernel, sizes) x 2 distinct sizes each: 8 jobs, no two identical,
+# so the memo stays cold on the first pass
+FULL_BATCH = [
+    ("pi", {"steps": 64}), ("pi", {"steps": 128}),
+    ("stream", {"n": 64}), ("stream", {"n": 96}),
+    ("dot", {"n": 64}), ("dot", {"n": 96}),
+    ("sum35", {"limit": 64}), ("sum35", {"limit": 96}),
+]
+SMOKE_BATCH = FULL_BATCH[:4]
+
+NUM_UES = 4
+MAX_STEPS = 20_000_000
+
+
+def _sources(batch):
+    return [benchmark_source(name, NUM_UES, **sizes)
+            for name, sizes in batch]
+
+
+def _signature(payload):
+    return (payload["cycles"], payload["per_core_cycles"],
+            payload["stdout"], payload["exit_value"])
+
+
+def _run_batch(sources, pool_size, state_dir, timeout=1200.0):
+    sched = Scheduler(pool_size=pool_size, state_dir=state_dir)
+    start = time.perf_counter()
+    jobs = [sched.submit(source,
+                         spec=JobSpec(num_ues=NUM_UES,
+                                      max_steps=MAX_STEPS))
+            for source in sources]
+    sched.run_until_idle(timeout=timeout)
+    wall = time.perf_counter() - start
+    assert all(job.state == "done" for job in jobs), \
+        [(job.job_id, job.state, job.outcome) for job in jobs]
+    return wall, jobs, sched
+
+
+def measure(batch=FULL_BATCH, pool_size=POOL_SIZE, workdir=None):
+    import tempfile
+
+    workdir = workdir or tempfile.mkdtemp(prefix="bench-serve-")
+    sources = _sources(batch)
+
+    direct_start = time.perf_counter()
+    direct = [execute_job(Job("direct%d" % i, source,
+                              JobSpec(num_ues=NUM_UES,
+                                      max_steps=MAX_STEPS)))
+              for i, source in enumerate(sources)]
+    direct_wall = time.perf_counter() - direct_start
+
+    pool1_wall, pool1_jobs, _ = _run_batch(
+        sources, 1, os.path.join(workdir, "pool1"))
+    pool_wall, pool_jobs, sched = _run_batch(
+        sources, pool_size, os.path.join(workdir, "pool%d" % pool_size))
+
+    byte_identical = all(
+        _signature(job.result) == _signature(expected)
+        for jobs in (pool1_jobs, pool_jobs)
+        for job, expected in zip(jobs, direct))
+
+    # memo-warm second pass: same batch against the pool scheduler's
+    # populated memo — pure cache-hit throughput
+    cached_start = time.perf_counter()
+    cached_jobs = [sched.submit(source,
+                                spec=JobSpec(num_ues=NUM_UES,
+                                             max_steps=MAX_STEPS))
+                   for source in sources]
+    cached_wall = time.perf_counter() - cached_start
+    all_cached = all(job.result and job.result.get("cached")
+                     for job in cached_jobs)
+
+    return {
+        "batch": ["%s %s" % (name, sizes) for name, sizes in batch],
+        "num_ues": NUM_UES,
+        "pool_size": pool_size,
+        "host_cpus": os.cpu_count(),
+        "measure": "submit-to-idle wall seconds for the batch; "
+                   "direct = same jobs via execute_job in-process; "
+                   "overhead_ratio = pool-1 service / direct",
+        "jobs": len(sources),
+        "direct_seconds": direct_wall,
+        "pool1_seconds": pool1_wall,
+        "pool_seconds": pool_wall,
+        "overhead_ratio": pool1_wall / direct_wall,
+        "jobs_per_second": len(sources) / pool_wall,
+        "pool_speedup": pool1_wall / pool_wall,
+        "cached_jobs_per_second": len(sources) / cached_wall,
+        "all_cached": all_cached,
+        "byte_identical": byte_identical,
+    }
+
+
+def render(report):
+    return "\n".join([
+        "%d jobs (%d UEs) on pool %d" % (report["jobs"],
+                                         report["num_ues"],
+                                         report["pool_size"]),
+        "direct       %8.2fs" % report["direct_seconds"],
+        "service x1   %8.2fs  (overhead ratio %.2f)"
+        % (report["pool1_seconds"], report["overhead_ratio"]),
+        "service x%d   %8.2fs  (%.2f jobs/s, %.2fx vs pool 1)"
+        % (report["pool_size"], report["pool_seconds"],
+           report["jobs_per_second"], report["pool_speedup"]),
+        "memo-warm    %8.2f jobs/s (all_cached=%s)"
+        % (report["cached_jobs_per_second"], report["all_cached"]),
+        "host cpus: %s  byte_identical: %s"
+        % (report["host_cpus"], report["byte_identical"]),
+    ])
+
+
+# -- pytest entry (smoke scale) -------------------------------------------------
+
+
+def test_serve_throughput_smoke(tmp_path):
+    report = measure(batch=SMOKE_BATCH, pool_size=2,
+                     workdir=str(tmp_path))
+    assert report["byte_identical"]
+    assert report["all_cached"]
+
+
+# -- script entry ----------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: 4 jobs on a pool of 2")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help="report path (default %s)" % DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = measure(batch=SMOKE_BATCH, pool_size=2)
+        report["mode"] = "smoke"
+    else:
+        report = measure()
+        report["mode"] = "full"
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(report))
+    print("report written to %s" % args.output)
+    if not report["byte_identical"]:
+        print("FAIL: a service result diverged from its direct run")
+        return 1
+    if not report["all_cached"]:
+        print("FAIL: the memo-warm pass missed the cache")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

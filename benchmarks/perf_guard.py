@@ -20,6 +20,10 @@ the machine-relative quantity its report pins:
   both the committed report and the current host have >= 4 CPUs —
   a single-CPU runner time-slices the workers and measures ~1x
   regardless of backend quality).
+* ``BENCH_serve.json`` — the job service's byte-identity and
+  memo-hit flags plus its supervision overhead ratio (pool-1
+  service / direct, guarded on every host); pool throughput follows
+  the same >= 4 CPU rule as the parallel speedup.
 
 Usage::
 
@@ -41,6 +45,7 @@ import bench_attr_overhead  # noqa: E402
 import bench_interp_speed  # noqa: E402
 import bench_parallel_speedup  # noqa: E402
 import bench_race_overhead  # noqa: E402
+import bench_serve_throughput  # noqa: E402
 
 SLACK = 1.15  # fail on >15% slowdown against the committed number
 SMOKE_UES = 8
@@ -157,6 +162,55 @@ def guard_parallel():
     return ok, message + _host_note()
 
 
+def guard_serve():
+    """Re-run the job-service batch: byte-identity and the memo are
+    guarded on every host; the supervision overhead ratio (pool-1
+    service wall / direct wall) is machine-relative, so it is guarded
+    everywhere too — with the best of three runs, since fork-cost
+    noise on a loaded host is strictly additive.  Pool throughput,
+    like the parallel-backend speedup, needs real host parallelism
+    and is only guarded where both the committed report and this host
+    have >= 4 CPUs."""
+    committed = _committed("BENCH_serve.json")
+    runs = [bench_serve_throughput.measure() for _ in range(3)]
+    identical = all(run["byte_identical"] for run in runs)
+    cached = all(run["all_cached"] for run in runs)
+    ratio = min(run["overhead_ratio"] for run in runs)
+    bound = committed["overhead_ratio"] * SLACK
+    ok = identical and cached and ratio <= bound
+    message = ("serve byte_identical=%s all_cached=%s overhead "
+               "ratio %.3f (committed %.3f, bound %.3f)"
+               % (identical, cached, ratio,
+                  committed["overhead_ratio"], bound))
+    cpus = _host_cpus()
+    minimum = bench_serve_throughput.MIN_HOST_CPUS
+    committed_cpus = committed.get("host_cpus") or 1
+    if ok and cpus >= minimum and committed_cpus >= minimum:
+        floor = committed["jobs_per_second"] / SLACK
+        best = max(run["jobs_per_second"] for run in runs)
+        ok = best >= floor
+        message += (", throughput %.2f jobs/s (committed %.2f, "
+                    "floor %.2f)" % (best,
+                                     committed["jobs_per_second"],
+                                     floor))
+    elif ok:
+        # the skip must say exactly what was not checked and why
+        reasons = []
+        if cpus < minimum:
+            reasons.append("this host has %d CPU(s) < %d"
+                           % (cpus, minimum))
+        if committed_cpus < minimum:
+            reasons.append("the committed report was measured on "
+                           "%s CPU(s) < %d" % (committed_cpus,
+                                               minimum))
+        message += (", SKIPPED throughput floor %.2f/%.2f: "
+                    % (committed["jobs_per_second"], SLACK)
+                    + " and ".join(reasons)
+                    + " (byte-identity and overhead were still "
+                    "guarded)")
+    return ok, message + _host_note()
+
+
 # -- pytest entry ---------------------------------------------------------------
 
 
@@ -188,13 +242,20 @@ def test_parallel_backend_has_not_regressed(results_dir):
     assert ok, message
 
 
+def test_serve_throughput_has_not_regressed(results_dir):
+    from conftest import write_result
+    ok, message = guard_serve()
+    write_result(results_dir, "perf_guard_serve.txt", message)
+    assert ok, message
+
+
 # -- script entry ----------------------------------------------------------------
 
 
 def main(argv=None):
     failures = 0
     for guard in (guard_race, guard_attr, guard_interp,
-                  guard_parallel):
+                  guard_parallel, guard_serve):
         ok, message = guard()
         print(("PASS: " if ok else "FAIL: ") + message)
         failures += 0 if ok else 1

@@ -40,6 +40,7 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
     NULL_INSTRUMENT,
+    render_snapshot_text,
     series_value,
 )
 from repro.obs.profile import PipelineProfiler, Span
@@ -65,6 +66,7 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
+    "render_snapshot_text",
     "series_value",
     "PipelineProfiler",
     "Span",

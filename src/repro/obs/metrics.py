@@ -356,22 +356,29 @@ class MetricsRegistry:
 
     def render_text(self):
         """One ``name{label=value,...} value`` line per series."""
-        snapshot = self.snapshot()
-        lines = []
-        for section in ("counters", "gauges"):
-            for name in sorted(snapshot[section]):
-                for row in snapshot[section][name]:
-                    lines.append("%s%s %s" % (
-                        name, _label_suffix(row["labels"]), row["value"]))
-        for name in sorted(snapshot["histograms"]):
-            for row in snapshot["histograms"][name]:
-                summary = row["summary"]
-                lines.append(
-                    "%s%s count=%d sum=%s p50=%s p99=%s" % (
-                        name, _label_suffix(row["labels"]),
-                        summary["count"], summary["sum"],
-                        summary["p50"], summary["p99"]))
-        return "\n".join(lines)
+        return render_snapshot_text(self.snapshot())
+
+
+def render_snapshot_text(snapshot):
+    """Render a :meth:`MetricsRegistry.snapshot` dict (possibly taken
+    in another process — the serve daemon ships its snapshot to
+    ``repro serve --status`` over a socket) as one
+    ``name{label=value,...} value`` line per series."""
+    lines = []
+    for section in ("counters", "gauges"):
+        for name in sorted(snapshot.get(section, {})):
+            for row in snapshot[section][name]:
+                lines.append("%s%s %s" % (
+                    name, _label_suffix(row["labels"]), row["value"]))
+    for name in sorted(snapshot.get("histograms", {})):
+        for row in snapshot["histograms"][name]:
+            summary = row["summary"]
+            lines.append(
+                "%s%s count=%d sum=%s p50=%s p99=%s" % (
+                    name, _label_suffix(row["labels"]),
+                    summary["count"], summary["sum"],
+                    summary["p50"], summary["p99"]))
+    return "\n".join(lines)
 
 
 def _label_suffix(labels):

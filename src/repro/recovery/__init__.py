@@ -50,7 +50,7 @@ class RecoveryOptions:
 
     def __init__(self, ecc=False, retry=False, retry_policy=None,
                  scrub_cycles=None, checkpoint_path=None,
-                 checkpoint_every=1, restore=None):
+                 checkpoint_every=1, restore=None, on_round=None):
         self.ecc = ecc
         self.retry = retry
         self.retry_policy = retry_policy
@@ -58,6 +58,10 @@ class RecoveryOptions:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.restore = restore
+        # extra barrier quiesce hook, called as ``on_round(round_id)``
+        # after any checkpoint for that round is written — the job
+        # service's cooperative preemption point (repro.serve)
+        self.on_round = on_round
 
     @property
     def active(self):
@@ -79,7 +83,7 @@ class RecoveryOptions:
             scrub_cycles=self.scrub_cycles,
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
-            restore=restore)
+            restore=restore, on_round=self.on_round)
 
     def __repr__(self):
         return ("RecoveryOptions(ecc=%r, retry=%r, checkpoint=%r, "

@@ -8,6 +8,19 @@ resumed from, and whether the campaign ultimately recovered.
 """
 
 from repro.diagnostics import INFO, WARNING, Diagnostic
+from repro.faults import CoreCrashFault
+from repro.recovery.ecc import UncorrectableECCError
+from repro.sim.watchdog import SimulationTimeout
+
+# Failures worth a supervised restart: one-shot crashes do not re-fire
+# on replay, and a hung attempt may have been wedged by the fault the
+# checkpoint predates.  Everything else (parse errors, divergence,
+# retry exhaustion — all deterministic under replay) fails fast.  The
+# job service (``repro.serve``) keys its retry policy on the same
+# taxonomy: a worker death is retried only when its cause is listed
+# here.
+RESTARTABLE_ERRORS = (CoreCrashFault, SimulationTimeout,
+                      UncorrectableECCError)
 
 
 class RecoveryReport:

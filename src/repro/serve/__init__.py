@@ -1,0 +1,54 @@
+"""The job service: translation-and-simulation as a supervised,
+long-running service (the ROADMAP's first ambitious direction).
+
+A run becomes a :class:`~repro.serve.job.Job` first and a CLI
+invocation second: serializable, resumable, supervised.  The pieces:
+
+* :mod:`repro.serve.job` — the :class:`Job`/:class:`JobSpec` model,
+  the typed failure taxonomy, and :func:`execute_job`, the one
+  execution path shared by workers, tests, and the CLI;
+* :mod:`repro.serve.queue` — bounded priority queue with admission
+  control (depth + memory-estimate load shedding);
+* :mod:`repro.serve.scheduler` — the worker-process pool and the
+  supervision ladder (deadlines, bounded retry with backoff,
+  checkpoint-backed preemption/resume, deterministic chaos);
+* :mod:`repro.serve.memo` — content-addressed completed-job result
+  memo keyed on (source sha256, spec fingerprint);
+* :mod:`repro.serve.daemon` / :mod:`repro.serve.client` — the
+  Unix-socket JSON-line protocol behind ``repro serve`` /
+  ``repro submit`` / ``repro jobs``.
+"""
+
+from repro.serve.job import (  # noqa: F401
+    BackpressureError,
+    Job,
+    JobDeadlineError,
+    JobPreempted,
+    JobRetriesExhaustedError,
+    JobSpec,
+    JobTranslationError,
+    JobWorkerDeathError,
+    ServeError,
+    UnknownJobError,
+    execute_job,
+)
+from repro.serve.memo import ResultMemo  # noqa: F401
+from repro.serve.queue import JobQueue  # noqa: F401
+from repro.serve.scheduler import Scheduler  # noqa: F401
+
+__all__ = [
+    "BackpressureError",
+    "Job",
+    "JobDeadlineError",
+    "JobPreempted",
+    "JobRetriesExhaustedError",
+    "JobSpec",
+    "JobTranslationError",
+    "JobWorkerDeathError",
+    "JobQueue",
+    "ResultMemo",
+    "Scheduler",
+    "ServeError",
+    "UnknownJobError",
+    "execute_job",
+]

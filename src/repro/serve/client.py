@@ -1,0 +1,105 @@
+"""Client side of the daemon's JSON-line Unix-socket protocol."""
+
+import json
+import os
+import socket
+import time
+
+from repro.serve.daemon import SOCK_NAME
+from repro.serve.job import ServeError
+
+
+class DaemonUnreachableError(ServeError):
+    """No daemon is listening at the state directory's socket."""
+
+
+class ServeClient:
+    def __init__(self, state_dir, timeout=30.0):
+        self.sock_path = os.path.join(os.path.abspath(state_dir),
+                                      SOCK_NAME)
+        self.timeout = timeout
+
+    def request(self, payload):
+        """One round trip; returns the response dict."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.sock_path)
+        except OSError as exc:
+            sock.close()
+            raise DaemonUnreachableError(
+                "no daemon at %s (%s); start one with "
+                "`repro serve --state-dir %s`"
+                % (self.sock_path, exc,
+                   os.path.dirname(self.sock_path)))
+        try:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        except OSError as exc:
+            raise DaemonUnreachableError(
+                "daemon at %s dropped the connection (%s)"
+                % (self.sock_path, exc))
+        finally:
+            sock.close()
+        if not data.strip():
+            raise DaemonUnreachableError(
+                "daemon at %s closed the connection without a "
+                "response" % self.sock_path)
+        return json.loads(data.decode())
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def submit(self, source, spec=None, priority=0,
+               deadline_seconds=None, max_retries=1,
+               preemptible=False, checkpoint_every=1):
+        payload = {"op": "submit", "source": source,
+                   "priority": priority,
+                   "deadline_seconds": deadline_seconds,
+                   "max_retries": max_retries,
+                   "preemptible": preemptible,
+                   "checkpoint_every": checkpoint_every}
+        if spec is not None:
+            payload["spec"] = spec if isinstance(spec, dict) \
+                else spec.as_dict()
+        return self.request(payload)
+
+    def jobs(self):
+        return self.request({"op": "jobs"})
+
+    def job(self, job_id):
+        return self.request({"op": "job", "id": job_id})
+
+    def status(self):
+        return self.request({"op": "status"})
+
+    def preempt(self, job_id):
+        return self.request({"op": "preempt", "id": job_id})
+
+    def shutdown(self):
+        return self.request({"op": "shutdown"})
+
+    def wait(self, job_id, timeout=600.0, poll=0.1):
+        """Block until ``job_id`` reaches a terminal state; returns
+        its full dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            response = self.job(job_id)
+            if not response.get("ok"):
+                raise ServeError(response.get("message",
+                                              "job lookup failed"))
+            job = response["job"]
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    "job %s still %s after %gs"
+                    % (job_id, job["state"], timeout))
+            time.sleep(poll)

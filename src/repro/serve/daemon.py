@@ -1,0 +1,212 @@
+"""The serve daemon: a Unix-socket front end on the scheduler.
+
+``repro serve`` runs one :class:`ServeDaemon`: an ``AF_UNIX`` listener
+at ``<state_dir>/daemon.sock`` speaking one JSON object per line
+(request in, response out, connection per request — trivially
+scriptable with ``nc -U``).  Between accepts the daemon pumps
+:meth:`Scheduler.step`, so supervision continues while the socket is
+idle.
+
+Operations: ``submit``, ``jobs``, ``job``, ``status`` (a metrics
+snapshot), ``preempt``, ``ping``, ``shutdown``.
+
+**Graceful shutdown.** SIGTERM/SIGINT (or a ``shutdown`` request)
+stops admissions, drains the pool — preemptible jobs checkpoint at
+their next barrier round, the rest are terminated back into the
+queue — persists the queue and job table to ``<state_dir>/queue.json``
+atomically, removes the socket, and exits 0.  A restarted daemon
+loads that file and picks up where it left off: pending jobs requeue,
+preempted jobs resume from their checkpoints by verified replay.
+"""
+
+import errno
+import json
+import os
+import signal
+import socket
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.job import ServeError
+from repro.serve.scheduler import Scheduler
+
+SOCK_NAME = "daemon.sock"
+QUEUE_NAME = "queue.json"
+
+
+class ServeDaemon:
+    def __init__(self, state_dir, pool_size=2, max_depth=None,
+                 memory_budget=None, chaos=None, registry=None,
+                 preempt_grace=None, log=None):
+        from repro.serve.queue import (
+            DEFAULT_MAX_DEPTH,
+            DEFAULT_MEMORY_BUDGET,
+            JobQueue,
+        )
+        self.state_dir = os.path.abspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.sock_path = os.path.join(self.state_dir, SOCK_NAME)
+        self.queue_path = os.path.join(self.state_dir, QUEUE_NAME)
+        self.registry = registry or MetricsRegistry()
+        queue = JobQueue(
+            max_depth=max_depth if max_depth is not None
+            else DEFAULT_MAX_DEPTH,
+            memory_budget=memory_budget if memory_budget is not None
+            else DEFAULT_MEMORY_BUDGET)
+        kwargs = {}
+        if preempt_grace is not None:
+            kwargs["preempt_grace"] = preempt_grace
+        self.scheduler = Scheduler(pool_size=pool_size, queue=queue,
+                                   state_dir=self.state_dir,
+                                   registry=self.registry,
+                                   chaos=chaos, **kwargs)
+        self.log = log or (lambda line: None)
+        self._listener = None
+        self._stop = False
+        self._draining = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _install_signals(self):
+        import threading
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(
+                signum, lambda _s, _f: self.request_stop())
+        return previous
+
+    def request_stop(self):
+        self._stop = True
+
+    def serve_forever(self, poll=0.05):
+        """Bind, restore persisted state, and run until stopped.
+        Returns 0 (the process exit code) after a graceful drain."""
+        restored = self.scheduler.load(self.queue_path)
+        if restored:
+            self.log("restored %d queued job(s) from %s"
+                     % (restored, self.queue_path))
+        try:
+            os.unlink(self.sock_path)
+        except OSError as exc:
+            if exc.errno != errno.ENOENT:
+                raise
+        self._listener = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+        self._listener.bind(self.sock_path)
+        self._listener.listen(8)
+        self._listener.settimeout(poll)
+        previous = self._install_signals()
+        self.log("listening on %s (pool %d)"
+                 % (self.sock_path, self.scheduler.pool_size))
+        try:
+            while not self._stop:
+                self.scheduler.step()
+                try:
+                    conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                with conn:
+                    self._serve_one(conn)
+            self._shutdown()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self._listener.close()
+            try:
+                os.unlink(self.sock_path)
+            except OSError:
+                pass
+        return 0
+
+    def _shutdown(self):
+        self._draining = True
+        running = len(self.scheduler.running)
+        queued = len(self.scheduler.queue)
+        self.log("shutting down: draining %d running job(s), "
+                 "%d queued" % (running, queued))
+        self.scheduler.drain()
+        self.scheduler.persist(self.queue_path)
+        self.log("queue persisted to %s; bye" % self.queue_path)
+
+    # -- one request --------------------------------------------------------
+
+    def _serve_one(self, conn):
+        conn.settimeout(5.0)
+        try:
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            if not data.strip():
+                return
+            try:
+                request = json.loads(data.decode())
+            except ValueError:
+                self._reply(conn, {"ok": False,
+                                   "error": "BadRequest",
+                                   "message": "not JSON"})
+                return
+            response = self.handle(request)
+            self._reply(conn, response)
+        except (OSError, socket.timeout):
+            pass
+
+    @staticmethod
+    def _reply(conn, response):
+        conn.sendall(json.dumps(response).encode() + b"\n")
+
+    def handle(self, request):
+        """Dispatch one request dict to a response dict (pure, for
+        tests)."""
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid()}
+            if op == "submit":
+                if self._stop or self._draining:
+                    return {"ok": False, "error": "Draining",
+                            "message": "daemon is shutting down"}
+                job = self.scheduler.submit(
+                    request["source"],
+                    spec=request.get("spec"),
+                    priority=request.get("priority", 0),
+                    deadline_seconds=request.get("deadline_seconds"),
+                    max_retries=request.get("max_retries", 1),
+                    preemptible=request.get("preemptible", False),
+                    checkpoint_every=request.get("checkpoint_every",
+                                                 1))
+                return {"ok": True, "job_id": job.job_id,
+                        "cached": bool(job.result
+                                       and job.result.get("cached"))}
+            if op == "jobs":
+                return {"ok": True,
+                        "jobs": [job.summary() for job
+                                 in self.scheduler.jobs.values()]}
+            if op == "job":
+                job = self.scheduler.get(request["id"])
+                return {"ok": True, "job": job.as_dict()}
+            if op == "status":
+                snapshot = self.registry.snapshot()
+                return {"ok": True, "metrics": snapshot,
+                        "running": len(self.scheduler.running),
+                        "queued": len(self.scheduler.queue),
+                        "pool_size": self.scheduler.pool_size}
+            if op == "preempt":
+                self.scheduler.preempt(request["id"])
+                return {"ok": True}
+            if op == "shutdown":
+                self.request_stop()
+                return {"ok": True, "message": "draining"}
+            return {"ok": False, "error": "BadRequest",
+                    "message": "unknown op %r" % op}
+        except ServeError as exc:
+            response = {"ok": False, "error": type(exc).__name__,
+                        "message": str(exc)}
+            if getattr(exc, "reason", None) is not None:
+                response["reason"] = exc.reason
+            return response

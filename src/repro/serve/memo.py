@@ -1,0 +1,97 @@
+"""Content-addressed completed-job result memo.
+
+The ``parse_program`` memo (``repro.cfront.frontend``) generalized one
+level, as the ROADMAP names: where the parser caches *ASTs* keyed on
+the source's sha256, the service caches whole *job results* keyed on
+``(source sha256, JobSpec fingerprint)`` — every knob that can change
+the simulated outcome is in the key, so a hit is byte-identical to a
+re-run by construction.  A resubmitted identical job completes
+immediately with ``cached=true`` in its payload.
+
+Only clean successes are memoized: a job that ran with fault or chaos
+injection is excluded (its *outcome* is deterministic under one seed,
+but the operator is usually probing the injection machinery, not the
+program), as is anything that failed.  Entries persist as one JSON
+file per key under ``<state_dir>/memo/`` so a restarted daemon keeps
+its memo warm.
+"""
+
+import json
+import os
+
+
+class ResultMemo:
+    """(source sha256, spec fingerprint) -> completed result payload."""
+
+    def __init__(self, path=None, max_entries=256):
+        self.path = path
+        self.max_entries = max_entries
+        self._entries = {}     # key -> payload (insertion-ordered)
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._load()
+
+    @staticmethod
+    def key_for(job):
+        return "%s-%s" % (job.source_sha(), job.spec.fingerprint())
+
+    @staticmethod
+    def cacheable(job):
+        """Clean, deterministic, fault-free runs only."""
+        return job.spec.faults is None
+
+    def _file(self, key):
+        return os.path.join(self.path, key + ".json")
+
+    def _load(self):
+        try:
+            names = sorted(os.listdir(self.path))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.path, name)) as handle:
+                    self._entries[name[:-5]] = json.load(handle)
+            except (OSError, ValueError):
+                continue  # a torn entry is a miss, never a crash
+
+    def lookup(self, job):
+        """The cached payload (marked ``cached=True``) or ``None``."""
+        if not self.cacheable(job):
+            return None
+        entry = self._entries.get(self.key_for(job))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        payload = dict(entry)
+        payload["cached"] = True
+        return payload
+
+    def store(self, job, payload):
+        if not self.cacheable(job) or payload.get("cached"):
+            return
+        key = self.key_for(job)
+        entry = dict(payload)
+        entry["cached"] = False
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            if self.path is not None:
+                try:
+                    os.unlink(self._file(oldest))
+                except OSError:
+                    pass
+        if self.path is not None:
+            tmp = self._file(key) + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self._file(key))
+
+    def __len__(self):
+        return len(self._entries)

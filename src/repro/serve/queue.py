@@ -1,0 +1,104 @@
+"""The admission-controlled job queue.
+
+A bounded priority queue with load shedding: submissions are rejected
+with a typed :class:`~repro.serve.job.BackpressureError` — instead of
+queueing without bound and OOMing the host — once either
+
+* the pending depth reaches ``max_depth``, or
+* the summed memory estimate of pending + running jobs
+  (:meth:`Job.estimate_bytes`) would exceed ``memory_budget`` bytes.
+
+Ordering is strict priority (higher first), FIFO within a priority
+level.  Retried jobs re-enter through :meth:`requeue` with an
+optional not-before time (the scheduler's exponential backoff), which
+bypasses admission control — a job already admitted never bounces.
+"""
+
+import heapq
+import itertools
+
+
+from repro.serve.job import PENDING, BackpressureError
+
+DEFAULT_MAX_DEPTH = 64
+DEFAULT_MEMORY_BUDGET = 512 * 1024 * 1024
+
+
+class JobQueue:
+    def __init__(self, max_depth=DEFAULT_MAX_DEPTH,
+                 memory_budget=DEFAULT_MEMORY_BUDGET):
+        self.max_depth = max_depth
+        self.memory_budget = memory_budget
+        self._heap = []           # (-priority, seq, not_before, job)
+        self._seq = itertools.count()
+        self.running_bytes = 0    # maintained by the scheduler
+
+    def __len__(self):
+        return len(self._heap)
+
+    def pending_bytes(self):
+        return sum(entry[3].estimate_bytes() for entry in self._heap)
+
+    def admit(self, job):
+        """Admission control: enqueue ``job`` or raise
+        :class:`BackpressureError`."""
+        if len(self._heap) >= self.max_depth:
+            raise BackpressureError(
+                "queue full (%d pending >= max depth %d); resubmit "
+                "later" % (len(self._heap), self.max_depth),
+                reason="depth")
+        projected = (self.pending_bytes() + self.running_bytes
+                     + job.estimate_bytes())
+        if projected > self.memory_budget:
+            raise BackpressureError(
+                "estimated in-flight memory %d B would exceed the "
+                "%d B budget; resubmit later"
+                % (projected, self.memory_budget), reason="memory")
+        self._push(job)
+
+    def requeue(self, job, not_before=0.0):
+        """Re-enter an already admitted job (retry, preemption,
+        daemon restart) — no admission check."""
+        job.state = PENDING
+        self._push(job, not_before)
+
+    def _push(self, job, not_before=0.0):
+        heapq.heappush(self._heap,
+                       (-job.priority, next(self._seq), not_before,
+                        job))
+
+    def pop_ready(self, now):
+        """The highest-priority job whose backoff window has passed,
+        or ``None``.  A backing-off job never blocks a ready one
+        behind it."""
+        deferred = []
+        ready = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry[2] <= now:
+                ready = entry[3]
+                break
+            deferred.append(entry)
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return ready
+
+    def peek_priority(self):
+        """Highest pending priority, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def max_ready_priority(self, now):
+        """Highest priority among jobs whose backoff has passed, or
+        ``None`` (the scheduler's preemption trigger)."""
+        ready = [-entry[0] for entry in self._heap
+                 if entry[2] <= now]
+        return max(ready) if ready else None
+
+    def jobs(self):
+        """Pending jobs in pop order (for status and persistence)."""
+        return [entry[3] for entry in sorted(self._heap)]
+
+    def clear(self):
+        self._heap = []

@@ -68,6 +68,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import signal
 import threading
 import time
 import traceback
@@ -149,6 +150,24 @@ def _ipc_send(conn, message):
 class ParallelRunError(Exception):
     """A worker failed in a way that could not be reproduced locally
     (e.g. its exception did not survive pickling)."""
+
+
+class ParallelInterrupted(KeyboardInterrupt):
+    """SIGTERM/SIGINT landed mid-run: the coordinator terminated and
+    joined its workers, closed the control pipes, and unwound — no
+    orphans.  A ``KeyboardInterrupt`` subclass so generic ``except
+    Exception`` recovery paths never swallow an operator's interrupt;
+    the CLI maps it to exit 130 with the one-line diagnostic."""
+
+    def __init__(self, signum, workers):
+        name = {getattr(signal, "SIGINT", 2): "SIGINT",
+                getattr(signal, "SIGTERM", 15): "SIGTERM"}.get(
+                    signum, "signal %s" % signum)
+        super().__init__(
+            "interrupted by %s: terminated %d parallel worker(s) "
+            "and unwound cleanly" % (name, workers))
+        self.signum = signum
+        self.workers = workers
 
 
 class ShardPlan:
@@ -669,6 +688,14 @@ def _worker_main(shard, ranks, source, num_ues, core_map, config,
     respawned worker gets the same arguments (plus the chaos plan's
     accumulated fired set) and simply re-executes; the coordinator
     serves it recorded replies until it catches up."""
+    # under fork the worker inherits the coordinator's deferred
+    # SIGTERM/SIGINT handlers, which would make ``terminate()`` a
+    # no-op; workers take the default (die) disposition instead
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except ValueError:
+            break  # not the main thread (thread-backend tests)
     try:
         if engine == "compiled":
             from repro.sim.compile import warm_process_cache
@@ -1421,6 +1448,20 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
             return
         recover_shard(shard, WorkerDeathError(why, shard=shard))
 
+    # graceful interrupt: a SIGTERM/SIGINT mid-run sets a flag; the
+    # event loop notices within one wait() timeout, and the teardown
+    # switches to terminate-first so no worker is orphaned.  Handlers
+    # are installable only from the main thread; elsewhere (a nested
+    # coordinator on a helper thread) the default delivery applies.
+    interrupted = []
+    previous_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        def _on_interrupt(signum, _frame):
+            interrupted.append(signum)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum,
+                                                      _on_interrupt)
+
     for shard in range(plan.jobs):
         spawn_shard(shard)
 
@@ -1428,7 +1469,8 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
         last_activity = time.monotonic()
         parked_since = None
         while len(coord.results) < plan.jobs and \
-                coord.failure is None and coord.fatal is None:
+                coord.failure is None and coord.fatal is None and \
+                not interrupted:
             sentinel_shard = {}
             for shard, proc in processes.items():
                 if proc is not None and shard not in coord.results:
@@ -1522,12 +1564,20 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
         # drain any result/error messages still in flight
         deadline = time.monotonic() + 5.0
         while coord.failure is None and coord.fatal is None and \
+                not interrupted and \
                 len(coord.results) < plan.jobs and \
                 time.monotonic() < deadline:
             for shard in list(coord.controls):
                 drain_control(shard)
             time.sleep(0.01)
     finally:
+        if interrupted:
+            # terminate-first: an interrupted run's workers are not
+            # going to finish, so a 5s join per worker would only
+            # stretch the operator's Ctrl-C
+            for worker in all_workers:
+                if worker.is_alive():
+                    worker.terminate()
         for worker in all_workers:
             worker.join(timeout=5.0)
         for worker in all_workers:
@@ -1538,7 +1588,11 @@ def run_rcce_parallel(source, num_ues, config, chip, core_map,
             conn.close()
         for conn in coord.controls.values():
             conn.close()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
 
+    if interrupted:
+        raise ParallelInterrupted(interrupted[0], len(all_workers))
     if coord.fatal is not None:
         raise coord.fatal
     if coord.failure is not None:

@@ -29,7 +29,6 @@ import threading
 from repro.cfront.frontend import parse_program
 from repro.diagnostics import Diagnostic
 from repro.faults import (
-    CoreCrashFault,
     FaultInjector,
     HostFaultPlan,
     parse_fault_spec,
@@ -50,9 +49,9 @@ from repro.recovery import (
     SnapshotDivergenceError,
     SnapshotMismatchError,
     StateProbe,
-    UncorrectableECCError,
     load_snapshot,
 )
+from repro.recovery.supervisor import RESTARTABLE_ERRORS  # noqa: F401
 from repro.scc.chip import SCCChip
 from repro.scc.config import Table61Config
 from repro.sim.interpreter import (
@@ -69,14 +68,6 @@ from repro.sim.watchdog import (
     WatchdogError,
     core_dumps,
 )
-
-# Failures worth a supervised restart: one-shot crashes do not re-fire
-# on replay, and a hung attempt may have been wedged by the fault the
-# checkpoint predates.  Everything else (parse errors, divergence,
-# retry exhaustion — all deterministic under replay) fails fast.
-RESTARTABLE_ERRORS = (CoreCrashFault, SimulationTimeout,
-                      UncorrectableECCError)
-
 
 class RunResult:
     """Outcome of one simulated program run."""
@@ -527,15 +518,23 @@ def run_rcce(program, num_ues, config=None, chip=None, core_map=None,
         if recovery.checkpoint_path:
             manager = CheckpointManager(recovery.checkpoint_path,
                                         recovery.checkpoint_every)
-    if manager is not None or verifier is not None:
-        probe = StateProbe(chip, world, memory, interpreters, ranks,
-                           num_ues, world.core_map,
-                           source_sha=_source_sha(program))
+    extra_round_hook = recovery.on_round if recovery is not None \
+        else None
+    if manager is not None or verifier is not None \
+            or extra_round_hook is not None:
         hooks = []
-        if verifier is not None:
-            hooks.append(verifier.bind(probe).on_round)
-        if manager is not None:
-            hooks.append(manager.bind(probe).on_round)
+        if manager is not None or verifier is not None:
+            probe = StateProbe(chip, world, memory, interpreters,
+                               ranks, num_ues, world.core_map,
+                               source_sha=_source_sha(program))
+            if verifier is not None:
+                hooks.append(verifier.bind(probe).on_round)
+            if manager is not None:
+                hooks.append(manager.bind(probe).on_round)
+        if extra_round_hook is not None:
+            # after verifier/manager: a preemption raised here sees
+            # the round's checkpoint already on disk
+            hooks.append(extra_round_hook)
         if len(hooks) == 1:
             world.barrier.on_round = hooks[0]
         else:

@@ -1,0 +1,60 @@
+"""Shared fixtures for the job-service tests."""
+
+import pytest
+
+from repro.bench.programs import benchmark_source
+
+# A kernel with a barrier inside a loop: ~14 ClockBarrier rounds at 4
+# UEs, so preemption points are plentiful (the Fig 6.1 kernels reach
+# their one reduction barrier almost immediately).
+BARRIER_LOOP = r"""
+#include <pthread.h>
+#include <stdio.h>
+#define N 4
+int total[N];
+pthread_barrier_t bar;
+void *worker(void *arg) {
+    int id = (int)arg;
+    int i;
+    for (i = 0; i < 12; i++) {
+        total[id] = total[id] + (id + 1) * (i + 1);
+        pthread_barrier_wait(&bar);
+    }
+    return 0;
+}
+int main() {
+    pthread_t tid[N];
+    int i;
+    pthread_barrier_init(&bar, 0, N);
+    for (i = 0; i < N; i++) pthread_create(&tid[i], 0, worker, (void *)i);
+    for (i = 0; i < N; i++) pthread_join(tid[i], 0);
+    for (i = 0; i < N; i++) printf("total[%d] = %d\n", i, total[i]);
+    return 0;
+}
+"""
+
+# A pthread program that never terminates: only --max-steps or a
+# wall-clock deadline stops it.
+INFINITE_LOOP = r"""
+#include <pthread.h>
+int main() {
+    volatile int x = 0;
+    while (1) { x = x + 1; }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def pi_source():
+    return benchmark_source("pi", 4, steps=64)
+
+
+@pytest.fixture
+def barrier_loop_source():
+    return BARRIER_LOOP
+
+
+@pytest.fixture
+def infinite_loop_source():
+    return INFINITE_LOOP

@@ -1,0 +1,212 @@
+"""The daemon: request handling, queue persistence, and the full
+SIGTERM drain → restart → resume round trip over a real socket."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve.daemon import ServeDaemon
+from repro.serve.job import Job, JobSpec
+from repro.serve.queue import JobQueue
+from repro.serve.scheduler import Scheduler
+
+TINY = "int main() { return 7; }"
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+class TestHandle:
+    """handle() is a pure request -> response dispatcher."""
+
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        return ServeDaemon(str(tmp_path / "state"), pool_size=1)
+
+    def test_ping(self, daemon):
+        response = daemon.handle({"op": "ping"})
+        assert response["ok"] is True
+        assert response["pid"] == os.getpid()
+
+    def test_unknown_op(self, daemon):
+        response = daemon.handle({"op": "frobnicate"})
+        assert response["ok"] is False
+        assert response["error"] == "BadRequest"
+
+    def test_submit_runs_and_reports(self, daemon):
+        response = daemon.handle({
+            "op": "submit", "source": TINY,
+            "spec": {"mode": "pthread", "max_steps": 100_000}})
+        assert response["ok"] is True
+        job_id = response["job_id"]
+        daemon.scheduler.run_until_idle(timeout=60)
+        job = daemon.handle({"op": "job", "id": job_id})["job"]
+        assert job["state"] == "done"
+        assert job["result"]["exit_value"] == 7
+        listing = daemon.handle({"op": "jobs"})
+        assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+        status = daemon.handle({"op": "status"})
+        assert status["ok"] and status["pool_size"] == 1
+
+    def test_submit_backpressure_is_typed(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "state"), pool_size=1,
+                             max_depth=1)
+        daemon.scheduler.queue.admit(
+            Job("blocker", TINY, JobSpec(mode="pthread")))
+        response = daemon.handle({"op": "submit", "source": TINY})
+        assert response["ok"] is False
+        assert response["error"] == "BackpressureError"
+        assert response["reason"] == "depth"
+
+    def test_unknown_job_is_typed(self, daemon):
+        response = daemon.handle({"op": "job", "id": "j9999"})
+        assert response["ok"] is False
+        assert response["error"] == "UnknownJobError"
+
+    def test_shutdown_rejects_new_submissions(self, daemon):
+        assert daemon.handle({"op": "shutdown"})["ok"] is True
+        response = daemon.handle({"op": "submit", "source": TINY})
+        assert response["ok"] is False
+        assert response["error"] == "Draining"
+
+
+class TestPersistence:
+    def test_queue_round_trip(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        sched = Scheduler(pool_size=1, queue=JobQueue(),
+                          state_dir=str(tmp_path / "a"))
+        sched.submit(TINY, spec=JobSpec(mode="pthread"), priority=3,
+                     deadline_seconds=9.0, max_retries=2,
+                     preemptible=True)
+        sched.submit(TINY + " ", spec=JobSpec(mode="pthread"))
+        sched.persist(path)
+
+        again = Scheduler(pool_size=1, queue=JobQueue(),
+                          state_dir=str(tmp_path / "b"))
+        again.load(path)
+        assert len(again.queue) == 2
+        restored = again.get("j0001")
+        assert restored.priority == 3
+        assert restored.deadline_seconds == 9.0
+        assert restored.max_retries == 2
+        assert restored.preemptible is True
+        # submit numbering continues after the restored jobs
+        third = again.submit(TINY + "  ",
+                             spec=JobSpec(mode="pthread"))
+        assert third.job_id == "j0003"
+
+    def test_persisted_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        sched = Scheduler(pool_size=1,
+                          state_dir=str(tmp_path / "state"))
+        sched.submit(TINY, spec=JobSpec(mode="pthread"))
+        sched.persist(path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert [job["job_id"] for job in data["jobs"]] == ["j0001"]
+
+
+def _start_daemon(state_dir, workers=1, extra=()):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", state_dir, "--workers", str(workers)]
+        + list(extra),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    sock = os.path.join(state_dir, "daemon.sock")
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if os.path.exists(sock):
+            return proc
+        if proc.poll() is not None:
+            raise AssertionError(
+                "daemon died at startup: %s"
+                % proc.stderr.read().decode())
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("daemon socket never appeared")
+
+
+def _finish(proc, timeout=60):
+    out, err = proc.communicate(timeout=timeout)
+    return proc.returncode, err.decode()
+
+
+class TestDaemonLifecycle:
+    def test_sigterm_drains_persists_and_restart_resumes(
+            self, tmp_path, pi_source, barrier_loop_source):
+        """The acceptance scenario: SIGTERM mid-work exits 0, leaves
+        zero orphans and a persisted queue; a restarted daemon picks
+        the work back up and finishes it byte-identically."""
+        from repro.serve import execute_job
+        from repro.serve.client import ServeClient
+
+        state_dir = str(tmp_path / "state")
+        proc = _start_daemon(state_dir)
+        client = ServeClient(state_dir)
+        assert client.ping()["ok"]
+
+        spec = JobSpec(num_ues=4, max_steps=20_000_000)
+        first = client.submit(barrier_loop_source, spec=spec,
+                              preemptible=True)
+        assert first["ok"]
+        second = client.submit(pi_source,
+                               spec=JobSpec(num_ues=4,
+                                            max_steps=2_000_000))
+        assert second["ok"]
+
+        # let the pool-1 daemon actually start the first job, so the
+        # drain path has an in-flight worker to preempt or finish
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if client.status()["running"] >= 1:
+                break
+            time.sleep(0.02)
+
+        proc.send_signal(signal.SIGTERM)
+        code, err = _finish(proc)
+        assert code == 0, err
+
+        queue_path = os.path.join(state_dir, "queue.json")
+        assert os.path.exists(queue_path)
+        with open(queue_path) as handle:
+            persisted = json.load(handle)
+        leftover = {job["job_id"]: job["state"]
+                    for job in persisted["jobs"]
+                    if job["state"] != "done"}
+        assert leftover, "nothing left to resume"
+
+        # zero orphans: any leaked fork would keep the state-dir
+        # marker in its command line after re-parenting to init
+        probe = subprocess.run(["pgrep", "-f", state_dir],
+                               stdout=subprocess.PIPE)
+        assert probe.stdout.decode().strip() == ""
+
+        proc = _start_daemon(state_dir)
+        done_first = client.wait(first["job_id"], timeout=180)
+        done_second = client.wait(second["job_id"], timeout=180)
+        assert done_first["state"] == "done"
+        assert done_second["state"] == "done"
+
+        direct = execute_job(Job("direct", barrier_loop_source, spec))
+        assert done_first["result"]["cycles"] == direct["cycles"]
+        assert done_first["result"]["stdout"] == direct["stdout"]
+        assert done_first["result"]["per_core_cycles"] == \
+            direct["per_core_cycles"]
+
+        assert client.shutdown()["ok"]
+        code, err = _finish(proc)
+        assert code == 0, err
+
+    def test_shutdown_op_exits_zero(self, tmp_path):
+        from repro.serve.client import ServeClient
+        state_dir = str(tmp_path / "state")
+        proc = _start_daemon(state_dir)
+        client = ServeClient(state_dir)
+        assert client.shutdown()["ok"]
+        code, err = _finish(proc)
+        assert code == 0, err

@@ -1,0 +1,72 @@
+"""Admission control and ordering for the bounded job queue."""
+
+import pytest
+
+from repro.serve.job import BackpressureError, Job, JobSpec
+from repro.serve.queue import JobQueue
+
+
+def _job(job_id, priority=0, num_ues=2, source="int main(){}"):
+    return Job(job_id, source, JobSpec(num_ues=num_ues),
+               priority=priority)
+
+
+class TestOrdering:
+    def test_priority_first_fifo_within(self):
+        queue = JobQueue()
+        queue.admit(_job("a", priority=0))
+        queue.admit(_job("b", priority=5))
+        queue.admit(_job("c", priority=5))
+        queue.admit(_job("d", priority=1))
+        order = [queue.pop_ready(0.0).job_id for _ in range(4)]
+        assert order == ["b", "c", "d", "a"]
+
+    def test_backoff_does_not_block_ready_work(self):
+        queue = JobQueue()
+        parked = _job("parked", priority=9)
+        queue.requeue(parked, not_before=100.0)
+        queue.admit(_job("ready", priority=0))
+        assert queue.pop_ready(0.0).job_id == "ready"
+        assert queue.pop_ready(0.0) is None       # parked still parked
+        assert queue.pop_ready(200.0).job_id == "parked"
+
+    def test_max_ready_priority_ignores_parked(self):
+        queue = JobQueue()
+        queue.requeue(_job("parked", priority=9), not_before=100.0)
+        queue.admit(_job("ready", priority=2))
+        assert queue.max_ready_priority(0.0) == 2
+        assert queue.max_ready_priority(150.0) == 9
+
+
+class TestAdmissionControl:
+    def test_depth_backpressure(self):
+        queue = JobQueue(max_depth=2)
+        queue.admit(_job("a"))
+        queue.admit(_job("b"))
+        with pytest.raises(BackpressureError) as info:
+            queue.admit(_job("c"))
+        assert info.value.reason == "depth"
+
+    def test_memory_backpressure_counts_running(self):
+        probe = _job("probe")
+        queue = JobQueue(max_depth=100,
+                         memory_budget=3 * probe.estimate_bytes())
+        queue.admit(_job("a"))
+        queue.admit(_job("b"))
+        queue.running_bytes = probe.estimate_bytes()
+        with pytest.raises(BackpressureError) as info:
+            queue.admit(_job("c"))
+        assert info.value.reason == "memory"
+
+    def test_requeue_bypasses_admission(self):
+        queue = JobQueue(max_depth=1)
+        queue.admit(_job("a"))
+        # a retried job never bounces off its own queue slot
+        queue.requeue(_job("b"))
+        assert len(queue) == 2
+
+    def test_jobs_listing_matches_pop_order(self):
+        queue = JobQueue()
+        queue.admit(_job("low", priority=0))
+        queue.admit(_job("high", priority=3))
+        assert [job.job_id for job in queue.jobs()] == ["high", "low"]
