@@ -6,6 +6,10 @@ translate
     Pthreads C in, RCCE C out (the paper's end product).
 analyze
     Print Tables 4.1 / 4.2 and the partition plan for a program.
+check
+    Translation-time static analysis (docs/static_analysis.md): the
+    interval abstract interpreter's run-time-error checks plus the
+    static lockset race audit, without simulating anything.
 run
     Simulate a program on the SCC model — the Pthreads original on one
     core, the translated RCCE variant on N cores, or both side by side.
@@ -105,6 +109,25 @@ def build_parser():
                          help="per-core step budget for --bottlenecks")
     _framework_args(analyze)
 
+    check = sub.add_parser(
+        "check", help="static analysis: interval run-time-error "
+        "checks and the lockset race audit "
+        "(docs/static_analysis.md)")
+    check.add_argument("source", help="input C file ('-' for stdin)")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable findings on stdout")
+    check.add_argument("--report", default=None, metavar="FILE",
+                       help="write the findings (with file/line/"
+                       "variable and per-site lockset provenance) "
+                       "as JSON")
+    check.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write the per-check counters as a "
+                       "metrics-registry snapshot JSON")
+    check.add_argument("--ues", type=int, default=48,
+                       help="cores assumed for the stage-5 mutex/"
+                       "register mapping (default 48)")
+    _framework_args(check)
+
     run = sub.add_parser("run", help="simulate on the SCC model")
     run.add_argument("source", help="input C file ('-' for stdin)")
     run.add_argument("--ues", type=int, default=8,
@@ -165,6 +188,14 @@ def build_parser():
     run.add_argument("--race-report", default=None, metavar="FILE",
                      help="write the race audit (findings with "
                      "core/pc/variable/epoch provenance) as JSON")
+    run.add_argument("--static-check", action="store_true",
+                     help="audit the program at translation time "
+                     "with the static analysis stage (see "
+                     "docs/static_analysis.md); findings print as "
+                     "diagnostics and, with --strict, fail the run")
+    run.add_argument("--static-report", default=None, metavar="FILE",
+                     help="write the static audit (findings with "
+                     "file/line/variable provenance) as JSON")
     run.add_argument("--max-steps", type=int, default=200_000_000,
                      help="per-core step budget before the run is "
                      "aborted with a SimulationTimeout")
@@ -444,6 +475,49 @@ def _analyze_bottlenecks(args, out, err):
     return EXIT_OK
 
 
+def cmd_check(args, out, err):
+    """``repro check``: stages 1-3 plus the static-analysis stage,
+    no simulation.  Findings exit ``EXIT_SIM`` under ``--strict``,
+    mirroring the dynamic race detector."""
+    import json
+
+    source = _read_source(args.source)
+    framework = _framework(args)
+    framework.num_cores = args.ues
+    filename = args.source if args.source != "-" else "<stdin>"
+    result = framework.check(source, filename=filename)
+    report = result.report
+    if report.has_errors:
+        err.write(report.render() + "\n")
+        return EXIT_PARSE
+    static = result.static_report
+    # Under --json stdout is a machine-readable payload: everything
+    # else (profiler, written-to notices) moves to stderr.
+    notice = err if args.json else out
+    if args.json:
+        out.write(json.dumps(static.as_dict(), indent=2,
+                             sort_keys=True) + "\n")
+    else:
+        out.write(static.render() + "\n")
+    if framework.profiler is not None:
+        notice.write(framework.profiler.render() + "\n")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(static.as_dict(), handle, indent=2)
+            handle.write("\n")
+        notice.write("static report written to %s\n" % args.report)
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        static.register_metrics(registry)
+        write_metrics_json({"static": registry.snapshot()},
+                           args.metrics)
+        notice.write("metrics written to %s\n" % args.metrics)
+    if static.has_findings and getattr(args, "strict", False):
+        return EXIT_SIM
+    return EXIT_OK
+
+
 def cmd_run(args, out, err):
     from repro.scc.chip import SCCChip
     from repro.scc.config import Table61Config
@@ -534,6 +608,16 @@ def cmd_run(args, out, err):
         else:
             watchdog = Watchdog()
     tracer = EventTracer() if getattr(args, "trace", None) else None
+    static_report = None
+    if getattr(args, "static_check", False) \
+            or getattr(args, "static_report", None) is not None:
+        checked = _framework(args).check(
+            source, filename=args.source if args.source != "-"
+            else "<stdin>")
+        if _report_diagnostics(checked, err):
+            return EXIT_PARSE
+        static_report = checked.static_report
+        out.write(static_report.render().splitlines()[0] + "\n")
     race_reports = {}
     snapshots = {}
     baseline = None
@@ -660,8 +744,17 @@ def cmd_run(args, out, err):
                       handle, indent=2)
             handle.write("\n")
         out.write("race report written to %s\n" % args.race_report)
-    if any(report.has_findings for report in race_reports.values()) \
-            and getattr(args, "strict", False):
+    if getattr(args, "static_report", None) \
+            and static_report is not None:
+        import json
+        with open(args.static_report, "w") as handle:
+            json.dump(static_report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        out.write("static report written to %s\n" % args.static_report)
+    findings = any(report.has_findings
+                   for report in race_reports.values()) \
+        or (static_report is not None and static_report.has_findings)
+    if findings and getattr(args, "strict", False):
         # the soundness audit failed: the translated program can race
         # or read stale cacheable lines on the real chip
         return EXIT_SIM
@@ -836,6 +929,7 @@ def cmd_jobs(args, out, err):
 COMMANDS = {
     "translate": cmd_translate,
     "analyze": cmd_analyze,
+    "check": cmd_check,
     "run": cmd_run,
     "bench": cmd_bench,
     "serve": cmd_serve,

@@ -72,6 +72,12 @@ class FrameworkResult:
         return self.context.facts.get("partition_plan")
 
     @property
+    def static_report(self):
+        """The :class:`repro.static.StaticReport` when the run included
+        the static-analysis stage; None otherwise."""
+        return self.context.facts.get("static_report")
+
+    @property
     def attribution(self):
         """The translated program's :class:`~repro.obs.attribution.
         AttributionReport` once a profiled simulation stored one (the
@@ -111,7 +117,7 @@ class TranslationFramework:
                  partition_policy="size", num_cores=48,
                  thread_id_args=None, fold_threads=False,
                  allow_split=False, verbose=False, profiler=None,
-                 strict=True):
+                 strict=True, static_check=False):
         self.on_chip_capacity = on_chip_capacity
         self.partition_policy = partition_policy
         self.num_cores = num_cores
@@ -128,6 +134,9 @@ class TranslationFramework:
         # strict=False degrades gracefully: a failing pass becomes an
         # error Diagnostic on the result instead of an exception
         self.strict = strict
+        # opt-in translation-time checks (repro.static); off by
+        # default so the pipeline output is byte-identical without it
+        self.static_check = static_check
 
     def _driver(self, passes):
         return Driver(passes, self.verbose, self.profiler, self.strict)
@@ -135,12 +144,21 @@ class TranslationFramework:
     # -- pipelines ------------------------------------------------------------
 
     def analysis_passes(self):
-        """Stages 1-3."""
-        return [
+        """Stages 1-3 (plus the optional static-analysis stage)."""
+        passes = [
             ScopeAnalysis(),
             InterThreadAnalysis(),
             AliasPointerAnalysis(),
         ]
+        if self.static_check:
+            passes.append(self._static_pass())
+        return passes
+
+    def _static_pass(self):
+        # imported lazily: repro.static is optional machinery and
+        # depends on repro.core submodules
+        from repro.static import StaticAnalysisStage
+        return StaticAnalysisStage(num_cores=self.num_cores)
 
     def partition_pass(self, policy=None):
         """Stage 4."""
@@ -170,6 +188,20 @@ class TranslationFramework:
         """Run Stages 1-3 only; returns a :class:`FrameworkResult`."""
         context = self._context(source, filename)
         self._driver(self.analysis_passes()).run(context)
+        return FrameworkResult(context)
+
+    def check(self, source, filename="<source>"):
+        """Run Stages 1-3 plus the static-analysis stage regardless of
+        the ``static_check`` flag; the result's ``static_report``
+        carries the findings."""
+        context = self._context(source, filename)
+        passes = [
+            ScopeAnalysis(),
+            InterThreadAnalysis(),
+            AliasPointerAnalysis(),
+            self._static_pass(),
+        ]
+        self._driver(passes).run(context)
         return FrameworkResult(context)
 
     def partition(self, source, filename="<source>", policy=None):

@@ -54,6 +54,11 @@ class Diagnostic:
         return cls(stage, WARNING, message, **where)
 
     @classmethod
+    def error(cls, stage, message, **where):
+        """An error with optional filename/line/column keywords."""
+        return cls(stage, ERROR, message, **where)
+
+    @classmethod
     def from_coord(cls, stage, severity, message, coord):
         """Build a diagnostic from an AST node's source coordinate."""
         return cls(stage, severity, message,

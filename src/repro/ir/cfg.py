@@ -73,6 +73,38 @@ class CFG:
         dfs(self.entry)
         return list(reversed(order))
 
+    def back_edges(self):
+        """Edges that close a cycle: ``(src, dst)`` pairs where ``dst``
+        is an ancestor of ``src`` on the DFS spanning tree.  Catches
+        both the builder's structured ``back`` edges and any cycle a
+        ``goto`` introduces."""
+        edges = []
+        state = {}  # index -> 1 (on stack) | 2 (done)
+        stack = [(self.entry, iter(self.entry.successors))]
+        state[self.entry.index] = 1
+        while stack:
+            block, successors = stack[-1]
+            advanced = False
+            for succ, _ in successors:
+                mark = state.get(succ.index)
+                if mark == 1:
+                    edges.append((block, succ))
+                elif mark is None:
+                    state[succ.index] = 1
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                state[block.index] = 2
+                stack.pop()
+        return edges
+
+    def loop_heads(self):
+        """Indices of blocks that head a cycle — the widening points
+        for abstract interpretation (every cycle passes through at
+        least one DFS back-edge target)."""
+        return {dst.index for _, dst in self.back_edges()}
+
 
 class _CFGBuilder:
     """Builds a CFG from a function body by structural recursion."""

@@ -396,3 +396,13 @@ def series_value(snapshot_section, name, default=0, **labels):
         if row["labels"] == labels:
             return row["value"]
     return default
+
+
+def sum_series(snapshot_section, name, default=0):
+    """Total a family across all its label combinations (e.g. every
+    ``check`` of ``static_checks_total``).  Returns ``default`` when
+    the family has no series at all."""
+    rows = snapshot_section.get(name, ())
+    if not rows:
+        return default
+    return sum(row["value"] for row in rows)

@@ -1,0 +1,94 @@
+"""``repro.static`` — translation-time static analysis.
+
+The paper's central claim is that the sharing behaviour of a pthreads
+program is decidable at translation time from stages 1–3; this package
+acts on that claim with two engines that run *before* any simulation:
+
+* :class:`~repro.static.lockset.LocksetAuditor` — an Eraser/RacerF
+  style static lockset race audit over the CFG, thread provenance, and
+  stage-5 mutex/register mapping;
+* :class:`~repro.static.intervals.IntervalEngine` — an interval
+  abstract interpreter (widening at loop heads, interprocedural
+  summaries) flagging out-of-bounds accesses, division by zero, signed
+  overflow at the declared C width, and reads of uninitialized locals.
+
+Both report into one :class:`~repro.static.report.StaticReport`, which
+mirrors ``repro.race.report`` so the same tooling consumes either.
+The :class:`StaticAnalysisStage` pass wires the subsystem into the
+translation pipeline behind ``repro check`` / ``repro run
+--static-check``.
+"""
+
+from repro.cfront import c_ast
+from repro.ir.passes import AnalysisPass
+from repro.static.domain import (  # noqa: F401  (public API)
+    AbstractEnv, Interval, PtrVal, VarState, int_type_range,
+)
+from repro.static.intervals import IntervalEngine
+from repro.static.lockset import LocksetAuditor
+from repro.static.report import (  # noqa: F401
+    DIV_BY_ZERO, OUT_OF_BOUNDS, OVERFLOW, RACE_CANDIDATE, RTE_CHECKS,
+    UNINIT_READ, StaticFinding, StaticReport,
+)
+
+
+class StaticAnalysisStage(AnalysisPass):
+    """Optional pipeline stage running both static engines.
+
+    Requires stages 1–3 (variables, thread launches, points-to) and
+    provides the ``static_report`` fact; every finding is also
+    surfaced as a warning-severity :class:`Diagnostic` so it renders
+    through the ordinary pipeline report (the CLI maps findings to
+    exit 70 under ``--strict``, mirroring the dynamic detector —
+    static findings never abort translation the way parse errors do).
+    """
+
+    name = "static-analysis"
+    requires = ("variables", "thread_launches", "thread_functions",
+                "points_to")
+    provides = ("static_report",)
+
+    def __init__(self, num_cores=48, filename="<source>"):
+        self.num_cores = num_cores
+        self.filename = filename
+
+    def run(self, context):
+        unit = context.unit
+        c_ast.link_parents(unit)
+        variables = context.require("variables")
+        launches = context.require("thread_launches")
+        thread_functions = context.require("thread_functions")
+        points_to = context.require("points_to")
+        report = StaticReport()
+        auditor = LocksetAuditor(
+            unit, variables, launches, thread_functions, points_to,
+            num_cores=self.num_cores, filename=self.filename)
+        auditor.report_into(report)
+        engine = IntervalEngine(unit, variables,
+                                filename=self.filename)
+        engine.analyze()
+        engine.report_into(report)
+        # kept for tests and callers that want the raw abstract states
+        report.interval_engine = engine
+        report.lockset_auditor = auditor
+        context.provide("static_report", report)
+        context.diagnostics.extend(report.diagnostics())
+        return report
+
+    def profile_stats(self, context):
+        report = context.facts.get("static_report")
+        if report is None:
+            return {}
+        return {"checks": report.total_checks(),
+                "findings": len(report.findings),
+                "suppressed": report.lockset_suppressed}
+
+
+def analyze_source(source, filename="<source>", num_cores=48):
+    """Convenience: parse + stages 1–3 + static analysis, returning
+    the :class:`StaticReport` (used by tests; the CLI goes through
+    :meth:`repro.core.framework.TranslationFramework.check`)."""
+    from repro.core.framework import TranslationFramework
+    framework = TranslationFramework(num_cores=num_cores)
+    result = framework.check(source, filename=filename)
+    return result.static_report

@@ -1,0 +1,33 @@
+/* The correctly locked twin of race_counter.c: every access to the
+ * shared counters holds the same mutex, so the lockset audit must
+ * suppress both variables and the report must be clean. */
+#include <stdio.h>
+#include <pthread.h>
+
+pthread_mutex_t lock;
+int hits = 0;
+int misses = 0;
+
+void *worker(void *tid) {
+    int i;
+    for (i = 0; i < 1000; i++) {
+        pthread_mutex_lock(&lock);
+        hits = hits + 1;
+        misses = misses + 2;
+        pthread_mutex_unlock(&lock);
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[2];
+    int t;
+    for (t = 0; t < 2; t++) {
+        pthread_create(&threads[t], NULL, worker, (void *)t);
+    }
+    for (t = 0; t < 2; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("hits %d misses %d\n", hits, misses);
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* Classic off-by-one: the loop's last iteration writes a[4] past the
+ * end of int a[4].  The interval engine must flag an out-of-bounds
+ * store (offset interval [0,4] escapes the valid [0,3]). */
+#include <stdio.h>
+
+int main() {
+    int a[4];
+    int i;
+    for (i = 0; i <= 4; i++) {
+        a[i] = i;
+    }
+    printf("%d\n", a[0]);
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* Every iteration squares an index of at least 100000: i * i is at
+ * least 10^10, far beyond INT_MAX, so the multiply overflows its
+ * declared 32-bit width on every pass — a definite finding. */
+#include <stdio.h>
+
+int main() {
+    int i;
+    int acc = 0;
+    for (i = 100000; i < 100100; i++) {
+        acc = i * i;
+    }
+    printf("%d\n", acc);
+    return 0;
+}

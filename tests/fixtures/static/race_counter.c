@@ -1,0 +1,29 @@
+/* Two shared counters bumped by two threads with no lock at all:
+ * the static lockset audit must report both as race candidates. */
+#include <stdio.h>
+#include <pthread.h>
+
+int hits = 0;
+int misses = 0;
+
+void *worker(void *tid) {
+    int i;
+    for (i = 0; i < 1000; i++) {
+        hits = hits + 1;
+        misses = misses + 2;
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[2];
+    int t;
+    for (t = 0; t < 2; t++) {
+        pthread_create(&threads[t], NULL, worker, (void *)t);
+    }
+    for (t = 0; t < 2; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("hits %d misses %d\n", hits, misses);
+    return 0;
+}

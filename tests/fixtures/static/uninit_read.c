@@ -1,0 +1,11 @@
+/* The local x is read before anything ever stores to it: the
+ * interval engine's initialization lattice must flag the read. */
+#include <stdio.h>
+
+int main() {
+    int x;
+    int y;
+    y = x + 1;
+    printf("%d\n", y);
+    return 0;
+}

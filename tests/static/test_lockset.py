@@ -1,0 +1,141 @@
+"""The static lockset race audit: candidate rule, suppression,
+phases, and thread provenance."""
+
+from repro.static import analyze_source
+
+RACY_COUNTERS = """
+#include <pthread.h>
+int hits = 0;
+int misses = 0;
+void *worker(void *t) {
+    int i;
+    for (i = 0; i < 100; i++) {
+        hits = hits + 1;
+        misses = misses + 2;
+    }
+    return 0;
+}
+int main() {
+    pthread_t th[2];
+    int i;
+    for (i = 0; i < 2; i++)
+        pthread_create(&th[i], 0, worker, (void *)i);
+    for (i = 0; i < 2; i++)
+        pthread_join(th[i], 0);
+    return hits + misses;
+}
+"""
+
+LOCKED_COUNTERS = RACY_COUNTERS.replace(
+    "#include <pthread.h>\nint hits",
+    "#include <pthread.h>\npthread_mutex_t m;\nint hits").replace(
+    "        hits = hits + 1;\n        misses = misses + 2;",
+    "        pthread_mutex_lock(&m);\n"
+    "        hits = hits + 1;\n        misses = misses + 2;\n"
+    "        pthread_mutex_unlock(&m);")
+
+
+class TestCandidateRule:
+    def test_unprotected_counters_are_candidates(self):
+        report = analyze_source(RACY_COUNTERS)
+        assert report.candidate_variables() == {"hits", "misses"}
+        for finding in report.race_candidates():
+            assert any(s.kind == "write" for s in finding.sites)
+            assert all(s.phase == "par" for s in finding.sites)
+            assert finding.line is not None
+
+    def test_common_lock_suppresses(self):
+        report = analyze_source(LOCKED_COUNTERS)
+        assert report.candidate_variables() == set()
+        assert report.lockset_suppressed == 2
+        assert report.suppression_ratio == 1.0
+        assert report.ok
+
+    def test_single_thread_is_not_a_race(self):
+        source = RACY_COUNTERS.replace("th[2]", "th[1]") \
+            .replace("i < 2", "i < 1")
+        report = analyze_source(source)
+        assert report.candidate_variables() == set()
+
+    def test_different_locks_do_not_suppress(self):
+        source = """
+        #include <pthread.h>
+        pthread_mutex_t m1;
+        pthread_mutex_t m2;
+        int shared_x = 0;
+        void *w1(void *t) {
+            pthread_mutex_lock(&m1);
+            shared_x = shared_x + 1;
+            pthread_mutex_unlock(&m1);
+            return 0;
+        }
+        void *w2(void *t) {
+            pthread_mutex_lock(&m2);
+            shared_x = shared_x + 1;
+            pthread_mutex_unlock(&m2);
+            return 0;
+        }
+        int main() {
+            pthread_t a;
+            pthread_t b;
+            pthread_create(&a, 0, w1, 0);
+            pthread_create(&b, 0, w2, 0);
+            pthread_join(a, 0);
+            pthread_join(b, 0);
+            return shared_x;
+        }
+        """
+        report = analyze_source(source)
+        assert report.candidate_variables() == {"shared_x"}
+        threads = set()
+        for site in report.race_candidates()[0].sites:
+            threads |= set(site.threads)
+        assert threads == {"w1", "w2"}
+
+
+class TestPhases:
+    def test_pre_phase_main_write_is_not_concurrent(self):
+        # main configures the global before any thread exists; the
+        # workers only read it — no concurrent write, no candidate
+        source = """
+        #include <pthread.h>
+        int config = 0;
+        int sink[2];
+        void *worker(void *t) {
+            sink[(int)t] = config;
+            return 0;
+        }
+        int main() {
+            pthread_t th[2];
+            int i;
+            config = 42;
+            for (i = 0; i < 2; i++)
+                pthread_create(&th[i], 0, worker, (void *)i);
+            for (i = 0; i < 2; i++)
+                pthread_join(th[i], 0);
+            return sink[0];
+        }
+        """
+        report = analyze_source(source)
+        assert "config" not in report.candidate_variables()
+
+    def test_post_phase_main_read_is_not_concurrent(self):
+        # the final aggregation after the joins must not turn a
+        # per-thread-disjoint array into extra main sites
+        report = analyze_source(RACY_COUNTERS)
+        for finding in report.race_candidates():
+            assert all(s.function == "worker" for s in finding.sites)
+
+
+class TestAccounting:
+    def test_checks_and_shared_counters(self):
+        report = analyze_source(RACY_COUNTERS)
+        assert report.shared_variables >= 2
+        assert report.total_checks() > 0
+        assert report.dropped == 0
+
+    def test_as_dict_carries_site_provenance(self):
+        payload = analyze_source(RACY_COUNTERS).as_dict()
+        sites = payload["findings"][0]["sites"]
+        assert sites and sites[0]["phase"] == "par"
+        assert sites[0]["locks"] == []
